@@ -1,0 +1,52 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``test_fig*.py`` module regenerates one of the paper's figures:
+a session-scoped fixture runs the (reduced-grid) sweep once, the
+rendered panel tables are written to ``benchmarks/results/`` and echoed
+to the terminal, and the individual benchmark tests time one
+representative replay per policy with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.report import render_figure, sweep_to_csv
+from repro.experiments.svg import save_figure_svg
+
+#: Reduced grids keep a full benchmark session in the minutes range
+#: while still showing every ordering and crossover.
+BENCH_LATENCIES = (0.0, 5e-3, 10e-3, 20e-3, 40e-3)
+BENCH_BANDWIDTHS = tuple(mb * 1e6 / 8 for mb in (1.0, 2.0, 5.5, 11.0))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """Experiment config with the reduced benchmark grids."""
+    return ExperimentConfig(latency_sweep=BENCH_LATENCIES,
+                            bandwidth_sweep_bps=BENCH_BANDWIDTHS)
+
+
+def publish_figure(figure) -> str:
+    """Render a figure, persist it under results/, echo it, return text."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = render_figure(figure)
+    (RESULTS_DIR / f"{figure.figure_id}.txt").write_text(text)
+    csv_parts = []
+    if figure.by_latency:
+        csv_parts.append("# panel a (latency sweep)\n"
+                         + sweep_to_csv(figure.by_latency))
+    if figure.by_bandwidth:
+        csv_parts.append("# panel b (bandwidth sweep)\n"
+                         + sweep_to_csv(figure.by_bandwidth))
+    (RESULTS_DIR / f"{figure.figure_id}.csv").write_text(
+        "\n".join(csv_parts))
+    save_figure_svg(figure, RESULTS_DIR)
+    print()
+    print(text)
+    return text

@@ -1,0 +1,177 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation sweeps one FlexFetch design parameter on a fixed workload
+and records the energy curve to ``benchmarks/results/ablations.txt``:
+
+* burst threshold (paper: the disk access time, 20 ms),
+* evaluation-stage length (paper: 40 s),
+* maximum tolerable loss rate (paper: 25 %),
+* the individual adaptation features (splice / audit / cache filter /
+  free rider) switched off one at a time.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.core.flexfetch import FlexFetchConfig, FlexFetchPolicy
+from repro.core.profile import profile_from_trace
+from repro.core.simulator import ProgramSpec, ReplaySimulator
+from repro.traces.synth import (
+    generate_grep_make,
+    generate_grep_make_xmms,
+    generate_mplayer,
+)
+
+SEED = 7
+_LINES: list[str] = []
+
+
+def _run(trace_or_pair, config):
+    if isinstance(trace_or_pair, tuple):
+        fg, bg = trace_or_pair
+        programs = [ProgramSpec(fg),
+                    ProgramSpec(bg, profiled=False, disk_pinned=True)]
+        profile = profile_from_trace(fg)
+    else:
+        programs = [ProgramSpec(trace_or_pair)]
+        profile = profile_from_trace(trace_or_pair)
+    policy = FlexFetchPolicy(profile, config)
+    return ReplaySimulator(programs, policy, seed=SEED).run()
+
+
+def _record(title, rows):
+    _LINES.append(title)
+    for label, energy in rows:
+        _LINES.append(f"  {label:28s} {energy:9.1f} J")
+    _LINES.append("")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "ablations.txt").write_text("\n".join(_LINES) + "\n")
+
+
+@pytest.fixture(scope="module")
+def grep_make():
+    return generate_grep_make(SEED)
+
+
+@pytest.mark.benchmark(group="ablation-burst-threshold")
+@pytest.mark.parametrize("threshold_ms", [5, 20, 100])
+def test_burst_threshold(benchmark, grep_make, threshold_ms):
+    """Sweep the burst threshold around the paper's 20 ms choice."""
+    config = FlexFetchConfig(burst_threshold=threshold_ms * 1e-3)
+    result = benchmark.pedantic(lambda: _run(grep_make, config),
+                                rounds=1, iterations=1)
+    _record(f"burst threshold = {threshold_ms} ms (grep+make)",
+            [("FlexFetch", result.total_energy)])
+    assert result.total_energy > 0
+
+
+@pytest.mark.benchmark(group="ablation-stage-length")
+@pytest.mark.parametrize("stage_s", [10, 40, 160])
+def test_stage_length(benchmark, grep_make, stage_s):
+    """Sweep the evaluation-stage length around the paper's 40 s."""
+    config = FlexFetchConfig(stage_length=float(stage_s))
+    result = benchmark.pedantic(lambda: _run(grep_make, config),
+                                rounds=1, iterations=1)
+    _record(f"stage length = {stage_s} s (grep+make)",
+            [("FlexFetch", result.total_energy)])
+    assert result.total_energy > 0
+
+
+@pytest.mark.benchmark(group="ablation-loss-rate")
+@pytest.mark.parametrize("loss", [0.0, 0.25, 1.0])
+def test_loss_rate(benchmark, loss):
+    """Sweep the tolerable performance-loss rate on mplayer.
+
+    With loss 0 FlexFetch may never trade time for energy; with a huge
+    allowance it should track the cheapest device regardless of time.
+    """
+    trace = generate_mplayer(SEED)
+    config = FlexFetchConfig(loss_rate=loss)
+    result = benchmark.pedantic(lambda: _run(trace, config),
+                                rounds=1, iterations=1)
+    _record(f"loss rate = {loss:.2f} (mplayer)",
+            [("FlexFetch", result.total_energy)])
+    assert result.total_energy > 0
+
+
+@pytest.mark.benchmark(group="ablation-features")
+@pytest.mark.parametrize("disabled", [
+    "none", "splice_reevaluation", "stage_audit", "cache_filter",
+    "free_rider"])
+def test_adaptation_features(benchmark, disabled):
+    """Disable one §2.3 adaptation at a time on the forced-spin-up
+    scenario, where every mechanism has something to do."""
+    pair = generate_grep_make_xmms(SEED)
+    kwargs = {}
+    if disabled != "none":
+        kwargs[f"use_{disabled}"] = False
+    config = FlexFetchConfig(**kwargs)
+    result = benchmark.pedantic(lambda: _run(pair, config),
+                                rounds=1, iterations=1)
+    _record(f"feature disabled = {disabled} (grep+make | xmms)",
+            [("FlexFetch", result.total_energy)])
+    assert result.total_energy > 0
+
+
+@pytest.mark.benchmark(group="ablation-spindown-timeout")
+@pytest.mark.parametrize("timeout_s", [5, 20, 60])
+def test_disk_spindown_timeout(benchmark, timeout_s):
+    """Sweep the disk's DPM timeout around the 20 s laptop-mode default
+    (Disk-only on mplayer, where the timeout decides everything)."""
+    from repro.core.policies import DiskOnlyPolicy
+    from repro.devices.specs import HITACHI_DK23DA
+    trace = generate_mplayer(SEED)
+    spec = HITACHI_DK23DA.with_timeout(float(timeout_s))
+
+    def once():
+        return ReplaySimulator([ProgramSpec(trace)], DiskOnlyPolicy(),
+                               disk_spec=spec, seed=SEED).run()
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    _record(f"disk spin-down timeout = {timeout_s} s (mplayer, Disk-only)",
+            [("Disk-only", result.total_energy)])
+    assert result.total_energy > 0
+
+
+@pytest.mark.benchmark(group="ablation-dpm-policy")
+@pytest.mark.parametrize("dpm", ["fixed", "adaptive"])
+def test_dpm_policy(benchmark, dpm):
+    """Fixed vs adaptive spin-down timeout under FlexFetch (grep+make)."""
+    from repro.devices.dpm import AdaptiveTimeout, FixedTimeout
+    trace = generate_grep_make(SEED)
+    profile = profile_from_trace(trace)
+    policy_obj = (FixedTimeout(20.0) if dpm == "fixed"
+                  else AdaptiveTimeout(initial=20.0))
+
+    def once():
+        return ReplaySimulator(
+            [ProgramSpec(trace)], FlexFetchPolicy(profile),
+            spindown_policy=policy_obj, seed=SEED).run()
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    _record(f"disk DPM = {dpm} (grep+make, FlexFetch)",
+            [("FlexFetch", result.total_energy)])
+    assert result.total_energy > 0
+
+
+@pytest.mark.benchmark(group="ablation-psm-transfers")
+@pytest.mark.parametrize("psm_transfers", [False, True])
+def test_psm_transfers(benchmark, psm_transfers):
+    """§1.1 extension: service small requests inside PSM instead of
+    waking to CAM (thunderbird's phase-1 emails are the beneficiary)."""
+    from repro.core.policies import WnicOnlyPolicy
+    from repro.devices.specs import AIRONET_350
+    from repro.traces.synth import generate_thunderbird
+    trace = generate_thunderbird(SEED)
+    spec = AIRONET_350.with_psm_transfers(psm_transfers)
+
+    def once():
+        return ReplaySimulator([ProgramSpec(trace)], WnicOnlyPolicy(),
+                               wnic_spec=spec, seed=SEED).run()
+
+    result = benchmark.pedantic(once, rounds=1, iterations=1)
+    _record(f"PSM transfers = {psm_transfers} (thunderbird, WNIC-only)",
+            [("WNIC-only", result.total_energy)])
+    assert result.total_energy > 0

@@ -1,0 +1,65 @@
+"""Figure 1 — grep+make: energy vs WNIC latency and bandwidth.
+
+Running this module regenerates both panels of the paper's Figure 1
+(written to ``benchmarks/results/fig1.{txt,csv}`` and echoed) and times
+one replay per policy.
+"""
+
+import pytest
+
+from benchmarks.conftest import publish_figure
+from repro.core.bluefs import BlueFSPolicy
+from repro.core.flexfetch import FlexFetchPolicy
+from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
+from repro.core.profile import profile_from_trace
+from repro.core.simulator import ProgramSpec
+from repro.experiments.figures import figure1
+from repro.experiments.runner import run_point
+from repro.traces.synth import generate_grep_make
+
+
+@pytest.fixture(scope="module")
+def fig1_series(bench_config):
+    """The full (reduced-grid) Figure 1 sweep, published to results/."""
+    figure = figure1(bench_config)
+    publish_figure(figure)
+    return figure
+
+
+@pytest.fixture(scope="module")
+def workload(bench_config):
+    trace = generate_grep_make(bench_config.seed)
+    return trace, profile_from_trace(trace)
+
+
+def _policy_factories(profile):
+    return {
+        "Disk-only": DiskOnlyPolicy,
+        "WNIC-only": WnicOnlyPolicy,
+        "BlueFS": BlueFSPolicy,
+        "FlexFetch": lambda: FlexFetchPolicy(profile),
+    }
+
+
+@pytest.mark.benchmark(group="fig1-grep+make")
+@pytest.mark.parametrize("policy_name",
+                         ["Disk-only", "WNIC-only", "BlueFS", "FlexFetch"])
+def test_fig1_replay(benchmark, bench_config, workload, fig1_series,
+                     policy_name):
+    """Time one grep+make replay per policy at the default link."""
+    trace, profile = workload
+    factory = _policy_factories(profile)[policy_name]
+
+    def once():
+        return run_point(lambda: [ProgramSpec(trace)], factory,
+                         bench_config.wnic_spec, bench_config)
+
+    point = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert point.energy > 0
+
+    # Figure 1(a) at 0 latency: FlexFetch < WNIC-only < Disk-only,
+    # BlueFS at or above Disk-only.
+    at0 = {name: pts[0].energy
+           for name, pts in fig1_series.by_latency.items()}
+    assert at0["FlexFetch"] < at0["WNIC-only"] < at0["Disk-only"]
+    assert at0["BlueFS"] >= at0["Disk-only"] * 0.97

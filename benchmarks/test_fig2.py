@@ -1,0 +1,68 @@
+"""Figure 2 — mplayer: energy vs WNIC latency and bandwidth."""
+
+import pytest
+
+from benchmarks.conftest import publish_figure
+from repro.core.bluefs import BlueFSPolicy
+from repro.core.flexfetch import FlexFetchPolicy
+from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
+from repro.core.profile import profile_from_trace
+from repro.core.simulator import ProgramSpec
+from repro.experiments.figures import figure2
+from repro.experiments.runner import run_point
+from repro.traces.synth import generate_mplayer
+
+
+@pytest.fixture(scope="module")
+def fig2_series(bench_config):
+    figure = figure2(bench_config)
+    publish_figure(figure)
+    return figure
+
+
+@pytest.fixture(scope="module")
+def workload(bench_config):
+    trace = generate_mplayer(bench_config.seed)
+    return trace, profile_from_trace(trace)
+
+
+def _policy_factories(profile):
+    return {
+        "Disk-only": DiskOnlyPolicy,
+        "WNIC-only": WnicOnlyPolicy,
+        "BlueFS": BlueFSPolicy,
+        "FlexFetch": lambda: FlexFetchPolicy(profile),
+    }
+
+
+@pytest.mark.benchmark(group="fig2-mplayer")
+@pytest.mark.parametrize("policy_name",
+                         ["Disk-only", "WNIC-only", "BlueFS", "FlexFetch"])
+def test_fig2_replay(benchmark, bench_config, workload, fig2_series,
+                     policy_name):
+    """Time one mplayer replay per policy at the default link."""
+    trace, profile = workload
+    factory = _policy_factories(profile)[policy_name]
+
+    def once():
+        return run_point(lambda: [ProgramSpec(trace)], factory,
+                         bench_config.wnic_spec, bench_config)
+
+    point = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert point.energy > 0
+
+    # Figure 2(a): FlexFetch tracks WNIC-only, both far below Disk-only;
+    # BlueFS above Disk-only.
+    at_default = {name: pts[-1].energy     # 11 Mbps panel-b point
+                  for name, pts in fig2_series.by_bandwidth.items()}
+    assert at_default["FlexFetch"] == pytest.approx(
+        at_default["WNIC-only"], rel=0.05)
+    assert at_default["WNIC-only"] < at_default["Disk-only"] * 0.75
+    assert at_default["BlueFS"] > at_default["Disk-only"]
+
+    # Figure 2(b) at 1 Mbps: FlexFetch switched to the disk.
+    at_1mbps = {name: pts[0].energy
+                for name, pts in fig2_series.by_bandwidth.items()}
+    assert at_1mbps["FlexFetch"] == pytest.approx(
+        at_1mbps["Disk-only"], rel=0.05)
+    assert at_1mbps["FlexFetch"] < at_1mbps["WNIC-only"] * 0.65

@@ -1,0 +1,72 @@
+"""Figure 3 — Thunderbird: energy vs WNIC latency and bandwidth."""
+
+import pytest
+
+from benchmarks.conftest import publish_figure
+from repro.core.bluefs import BlueFSPolicy
+from repro.core.flexfetch import FlexFetchPolicy
+from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
+from repro.core.profile import profile_from_trace
+from repro.core.simulator import ProgramSpec
+from repro.experiments.figures import figure3
+from repro.experiments.runner import run_point
+from repro.traces.synth import generate_thunderbird
+
+
+@pytest.fixture(scope="module")
+def fig3_series(bench_config):
+    figure = figure3(bench_config)
+    publish_figure(figure)
+    return figure
+
+
+@pytest.fixture(scope="module")
+def workload(bench_config):
+    trace = generate_thunderbird(bench_config.seed)
+    return trace, profile_from_trace(trace)
+
+
+def _policy_factories(profile):
+    return {
+        "Disk-only": DiskOnlyPolicy,
+        "WNIC-only": WnicOnlyPolicy,
+        "BlueFS": BlueFSPolicy,
+        "FlexFetch": lambda: FlexFetchPolicy(profile),
+    }
+
+
+@pytest.mark.benchmark(group="fig3-thunderbird")
+@pytest.mark.parametrize("policy_name",
+                         ["Disk-only", "WNIC-only", "BlueFS", "FlexFetch"])
+def test_fig3_replay(benchmark, bench_config, workload, fig3_series,
+                     policy_name):
+    """Time one Thunderbird replay per policy at the default link."""
+    trace, profile = workload
+    factory = _policy_factories(profile)[policy_name]
+
+    def once():
+        return run_point(lambda: [ProgramSpec(trace)], factory,
+                         bench_config.wnic_spec, bench_config)
+
+    point = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert point.energy > 0
+
+    lat = fig3_series.by_latency
+    # (a): WNIC-only starts below Disk-only and crosses it within the
+    # sweep; FlexFetch lowest and below BlueFS throughout.
+    assert lat["WNIC-only"][0].energy < lat["Disk-only"][0].energy
+    assert lat["WNIC-only"][-1].energy > lat["Disk-only"][-1].energy
+    for i in range(len(lat["FlexFetch"])):
+        assert lat["FlexFetch"][i].energy < lat["BlueFS"][i].energy
+
+    # (b): FlexFetch and BlueFS are insensitive to bandwidth *relative
+    # to WNIC-only* (the WNIC carries a small share of the workload);
+    # both also stay at or below Disk-only at every rate.
+    wnic_series = [p.energy for p in fig3_series.by_bandwidth["WNIC-only"]]
+    wnic_swing = max(wnic_series) / min(wnic_series)
+    disk_series = [p.energy for p in fig3_series.by_bandwidth["Disk-only"]]
+    for name in ("FlexFetch", "BlueFS"):
+        series = [p.energy for p in fig3_series.by_bandwidth[name]]
+        swing = max(series) / min(series)
+        assert swing < wnic_swing * 0.3
+        assert all(e <= d * 1.02 for e, d in zip(series, disk_series))

@@ -1,0 +1,64 @@
+"""Figure 4 — grep+make with xmms forcing the disk up (§3.3.4)."""
+
+import pytest
+
+from benchmarks.conftest import publish_figure
+from repro.core.flexfetch import FlexFetchConfig, FlexFetchPolicy
+from repro.core.policies import DiskOnlyPolicy
+from repro.core.profile import profile_from_trace
+from repro.core.simulator import ProgramSpec
+from repro.experiments.figures import figure4
+from repro.experiments.runner import run_point
+from repro.traces.synth import generate_grep_make_xmms
+
+
+@pytest.fixture(scope="module")
+def fig4_series(bench_config):
+    figure = figure4(bench_config)
+    publish_figure(figure)
+    return figure
+
+
+@pytest.fixture(scope="module")
+def workload(bench_config):
+    fg, bg = generate_grep_make_xmms(bench_config.seed)
+    return fg, bg, profile_from_trace(fg)
+
+
+def _factories(profile):
+    return {
+        "Disk-only": DiskOnlyPolicy,
+        "FlexFetch-static": lambda: FlexFetchPolicy(
+            profile, FlexFetchConfig(adaptive=False)),
+        "FlexFetch": lambda: FlexFetchPolicy(profile),
+    }
+
+
+@pytest.mark.benchmark(group="fig4-forced-spinup")
+@pytest.mark.parametrize("policy_name",
+                         ["Disk-only", "FlexFetch-static", "FlexFetch"])
+def test_fig4_replay(benchmark, bench_config, workload, fig4_series,
+                     policy_name):
+    """Time one two-program replay per policy at the default link."""
+    fg, bg, profile = workload
+    factory = _factories(profile)[policy_name]
+
+    def once():
+        return run_point(
+            lambda: [ProgramSpec(fg),
+                     ProgramSpec(bg, profiled=False, disk_pinned=True)],
+            factory, bench_config.wnic_spec, bench_config)
+
+    point = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert point.energy > 0
+
+    lat = fig4_series.by_latency
+    # At low latency adaptive FlexFetch avoids the static variant's
+    # WNIC waste; the curves merge as latency pushes both to the disk.
+    assert lat["FlexFetch"][0].energy < \
+        lat["FlexFetch-static"][0].energy * 0.92
+    assert lat["FlexFetch"][-1].energy <= \
+        lat["FlexFetch-static"][-1].energy * 1.02
+    # Free-riding converges on Disk-only behaviour.
+    assert lat["FlexFetch"][0].energy == pytest.approx(
+        lat["Disk-only"][0].energy, rel=0.05)

@@ -1,0 +1,68 @@
+"""Figure 5 — Acroread with an out-of-date profile (§3.3.5)."""
+
+import pytest
+
+from benchmarks.conftest import publish_figure
+from repro.core.bluefs import BlueFSPolicy
+from repro.core.flexfetch import FlexFetchConfig, FlexFetchPolicy
+from repro.core.policies import DiskOnlyPolicy
+from repro.core.profile import profile_from_trace
+from repro.core.simulator import ProgramSpec
+from repro.experiments.figures import figure5
+from repro.experiments.runner import run_point
+from repro.traces.synth import (
+    generate_acroread_profile_run,
+    generate_acroread_search_run,
+)
+
+
+@pytest.fixture(scope="module")
+def fig5_series(bench_config):
+    figure = figure5(bench_config)
+    publish_figure(figure)
+    return figure
+
+
+@pytest.fixture(scope="module")
+def workload(bench_config):
+    search = generate_acroread_search_run(bench_config.seed)
+    stale = profile_from_trace(
+        generate_acroread_profile_run(bench_config.seed))
+    return search, stale
+
+
+def _factories(stale):
+    return {
+        "Disk-only": DiskOnlyPolicy,
+        "BlueFS": BlueFSPolicy,
+        "FlexFetch-static": lambda: FlexFetchPolicy(
+            stale, FlexFetchConfig(adaptive=False)),
+        "FlexFetch": lambda: FlexFetchPolicy(stale),
+    }
+
+
+@pytest.mark.benchmark(group="fig5-invalid-profile")
+@pytest.mark.parametrize("policy_name",
+                         ["Disk-only", "BlueFS", "FlexFetch-static",
+                          "FlexFetch"])
+def test_fig5_replay(benchmark, bench_config, workload, fig5_series,
+                     policy_name):
+    """Time one stale-profile replay per policy at the default link."""
+    search, stale = workload
+    factory = _factories(stale)[policy_name]
+
+    def once():
+        return run_point(lambda: [ProgramSpec(search)], factory,
+                         bench_config.wnic_spec, bench_config)
+
+    point = benchmark.pedantic(once, rounds=1, iterations=1)
+    assert point.energy > 0
+
+    lat = fig5_series.by_latency
+    for i in range(len(lat["FlexFetch"])):
+        # Paper: FlexFetch ~36% below FlexFetch-static...
+        assert lat["FlexFetch"][i].energy < \
+            lat["FlexFetch-static"][i].energy * 0.75
+        # ...but ~15% above BlueFS (one exploratory stage).
+        ratio = lat["FlexFetch"][i].energy / lat["BlueFS"][i].energy
+        assert 1.0 < ratio < 1.40

@@ -1,0 +1,69 @@
+"""Headroom analysis: FlexFetch vs the clairvoyant stage oracle.
+
+For each single-program workload, runs the clairvoyant policy (perfect
+profile of the run being replayed) alongside FlexFetch and the fixed
+baselines and records the remaining headroom to
+``benchmarks/results/oracle.txt``.
+"""
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.core.flexfetch import FlexFetchPolicy
+from repro.core.oracle import ClairvoyantStagePolicy
+from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
+from repro.core.profile import profile_from_trace
+from repro.core.simulator import ProgramSpec, ReplaySimulator
+from repro.traces.synth import (
+    generate_grep_make,
+    generate_mplayer,
+    generate_thunderbird,
+)
+
+SEED = 7
+WORKLOADS = {
+    "grep+make": generate_grep_make,
+    "mplayer": generate_mplayer,
+    "thunderbird": generate_thunderbird,
+}
+_LINES: list[str] = []
+
+
+def _publish(name, rows):
+    _LINES.append(f"{name}:")
+    for label, energy in rows:
+        _LINES.append(f"  {label:14s} {energy:9.1f} J")
+    _LINES.append("")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "oracle.txt").write_text("\n".join(_LINES) + "\n")
+
+
+@pytest.mark.benchmark(group="oracle-headroom")
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_flexfetch_vs_oracle(benchmark, workload):
+    trace = WORKLOADS[workload](SEED)
+
+    def run_oracle():
+        return ReplaySimulator([ProgramSpec(trace)],
+                               ClairvoyantStagePolicy(trace),
+                               seed=SEED).run()
+
+    oracle = benchmark.pedantic(run_oracle, rounds=1, iterations=1)
+    ff = ReplaySimulator([ProgramSpec(trace)],
+                         FlexFetchPolicy(profile_from_trace(trace)),
+                         seed=SEED).run()
+    disk = ReplaySimulator([ProgramSpec(trace)], DiskOnlyPolicy(),
+                           seed=SEED).run()
+    wnic = ReplaySimulator([ProgramSpec(trace)], WnicOnlyPolicy(),
+                           seed=SEED).run()
+    _publish(workload, [
+        ("Disk-only", disk.total_energy),
+        ("WNIC-only", wnic.total_energy),
+        ("FlexFetch", ff.total_energy),
+        ("Clairvoyant", oracle.total_energy),
+    ])
+    # The oracle never loses to the better fixed policy by more than
+    # noise, and FlexFetch (accurate profile) stays within 25 % of it.
+    best_fixed = min(disk.total_energy, wnic.total_energy)
+    assert oracle.total_energy <= best_fixed * 1.05
+    assert ff.total_energy <= oracle.total_energy * 1.25

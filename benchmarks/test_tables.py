@@ -1,0 +1,43 @@
+"""Tables 1-3: parameter sheets and the trace inventory.
+
+Regenerates the three tables (written to ``benchmarks/results/``) and
+times trace synthesis per application — the cost of rebuilding the
+paper's whole workload suite from seeds.
+"""
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.experiments.report import render_table
+from repro.experiments.tables import table1, table2, table3
+from repro.traces.synth import TABLE3_GENERATORS, TABLE3_REFERENCE
+
+
+@pytest.fixture(scope="module")
+def published_tables():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n\n".join(render_table(t)
+                       for t in (table1(), table2(), table3(seed=7)))
+    (RESULTS_DIR / "tables.txt").write_text(text + "\n")
+    print()
+    print(text)
+    return text
+
+
+@pytest.mark.benchmark(group="table3-trace-synthesis")
+@pytest.mark.parametrize("app", sorted(TABLE3_GENERATORS))
+def test_table3_generator(benchmark, published_tables, app):
+    """Time synthesising one application's trace from a seed."""
+    trace = benchmark(TABLE3_GENERATORS[app], 7)
+    stats = trace.stats()
+    ref_files, ref_mb = TABLE3_REFERENCE[app]
+    assert stats.file_count == ref_files
+    assert stats.footprint_mb == pytest.approx(ref_mb, abs=0.05)
+
+
+@pytest.mark.benchmark(group="tables-render")
+def test_render_parameter_tables(benchmark, published_tables):
+    """Time rendering Tables 1-2 (trivial, serves as a floor)."""
+    text = benchmark(lambda: render_table(table1()) + render_table(table2()))
+    assert "2.0W" in text
+    assert "0.39W" in text

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Bring your own workload: build, persist, and evaluate a custom trace.
+
+Shows the library as a toolkit rather than a fixed benchmark:
+
+1. script a custom application (a photo-gallery browser: bursts of
+   thumbnail reads, long viewing pauses, occasional full-size fetches)
+   with :class:`~repro.traces.synth.base.TraceBuilder`;
+2. round-trip it through the JSONL trace format and the modified-strace
+   collector text format (what you would capture on a real system);
+3. profile one run, replay a *second* run against that profile, and
+   compare all four policies.
+
+Run::
+
+    python examples/custom_workload.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (
+    BlueFSPolicy,
+    DiskOnlyPolicy,
+    FlexFetchPolicy,
+    ProgramSpec,
+    ReplaySimulator,
+    WnicOnlyPolicy,
+    profile_from_trace,
+)
+from repro.traces.io import load_trace_jsonl, save_trace_jsonl
+from repro.traces.strace import format_strace_line, parse_strace_text
+from repro.traces.synth.base import TraceBuilder
+
+SEED = 21
+
+
+def build_gallery_trace(seed: int, *, albums: int = 6) -> "Trace":
+    """A photo gallery: thumbnail bursts, viewing pauses, full images."""
+    b = TraceBuilder("gallery", seed=seed, pid=3100)
+    thumbs = [b.new_file(f"gallery/album{a}/thumbs.db", 3_000_000)
+              for a in range(albums)]
+    photos = [b.new_file(f"gallery/album{a}/img{i:02d}.jpg",
+                         int(b.rng.uniform(2e6, 6e6)))
+              for a in range(albums) for i in range(4)]
+    for album in range(albums):
+        # Opening an album: one dense burst over the thumbnail DB.
+        b.read_whole_file(thumbs[album], chunk=64 * 1024)
+        b.think(float(b.rng.uniform(4.0, 8.0)))      # skim the grid
+        # View a couple of photos with long pauses between them.
+        for i in range(2):
+            photo = photos[album * 4 + int(b.rng.integers(0, 4))]
+            b.read_whole_file(photo, chunk=128 * 1024)
+            b.think(float(b.rng.uniform(12.0, 25.0)))  # admire it
+    return b.build()
+
+
+def main() -> None:
+    trace = build_gallery_trace(SEED)
+    stats = trace.stats()
+    print(f"custom workload: {stats.record_count} syscalls,"
+          f" {stats.file_count} files, {stats.footprint_mb:.1f} MB,"
+          f" {stats.duration:.0f} s nominal\n")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        # Persist + reload (JSONL is the library's native format).
+        path = Path(tmp) / "gallery.jsonl"
+        save_trace_jsonl(trace, path)
+        trace = load_trace_jsonl(path)
+        print(f"round-tripped through {path.name}:"
+              f" {len(trace)} records intact")
+
+        # The same data as a modified-strace capture (what the paper's
+        # collector produces on a real machine) — and parsed back.
+        lines = [format_strace_line(r, epoch=1_183_900_000.0)
+                 for r in trace.records]
+        capture = "\n".join(lines)
+        reparsed = parse_strace_text(capture, name="gallery")
+        print(f"collector text round-trip: {len(reparsed)} records,"
+              f" first line:\n  {lines[0]}\n")
+
+    # Profile run -> decision run (a different seed plays different
+    # photos, as a real second session would).
+    profile = profile_from_trace(trace)
+    second_run = build_gallery_trace(SEED + 1)
+
+    print(f"{'policy':18s} {'energy':>10s} {'time':>10s}")
+    for policy in (DiskOnlyPolicy(), WnicOnlyPolicy(), BlueFSPolicy(),
+                   FlexFetchPolicy(profile)):
+        result = ReplaySimulator([ProgramSpec(second_run)], policy,
+                                 seed=SEED).run()
+        print(f"{result.policy:18s} {result.total_energy:9.1f}J"
+              f" {result.end_time:9.1f}s")
+
+    print("\nThe gallery's sparse small-burst pattern is WNIC"
+          " territory — FlexFetch should sit\nnear WNIC-only despite"
+          " profiling a *different* session, because the burst/think\n"
+          "structure (not the exact files) is what the decision uses.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Watching FlexFetch recover from a wrong profile (§3.3.5).
+
+The recorded profile says Acroread casually reads 2 MB PDFs every 25
+seconds (WNIC-friendly); the actual run grinds through 20 MB documents
+every 10 seconds (disk-friendly).  FlexFetch starts on the wrong
+device, measures the damage for one evaluation stage, and corrects —
+this example prints the audit ledger where that happens.
+
+Run::
+
+    python examples/stale_profile_recovery.py
+"""
+
+from repro import (
+    BlueFSPolicy,
+    DiskOnlyPolicy,
+    FlexFetchConfig,
+    FlexFetchPolicy,
+    ProgramSpec,
+    ReplaySimulator,
+    WnicOnlyPolicy,
+    profile_from_trace,
+)
+from repro.traces.synth import (
+    generate_acroread_profile_run,
+    generate_acroread_search_run,
+)
+
+SEED = 7
+
+
+def main() -> None:
+    search_run = generate_acroread_search_run(seed=SEED)
+    profile_run = generate_acroread_profile_run(seed=SEED)
+    stale = profile_from_trace(profile_run)
+
+    print("recorded profile:  "
+          f"{profile_run.stats().footprint_mb:.0f} MB footprint, reads"
+          f" every ~{max(profile_run.stats().think_times):.0f} s"
+          " (longer than the 20 s disk timeout)")
+    print("actual execution:  "
+          f"{search_run.stats().footprint_mb:.0f} MB footprint, 20 MB"
+          f" sweeps every ~{max(search_run.stats().think_times):.0f} s\n")
+
+    baselines = {}
+    for policy in (DiskOnlyPolicy(), WnicOnlyPolicy(), BlueFSPolicy()):
+        r = ReplaySimulator([ProgramSpec(search_run)], policy,
+                            seed=SEED).run()
+        baselines[r.policy] = r
+        print(f"  {r.summary()}")
+
+    static = FlexFetchPolicy(stale, FlexFetchConfig(adaptive=False))
+    r_static = ReplaySimulator([ProgramSpec(search_run)], static,
+                               seed=SEED).run()
+    print(f"  {r_static.summary()}   <- trusts the stale profile forever")
+
+    adaptive = FlexFetchPolicy(stale)
+    r_adaptive = ReplaySimulator([ProgramSpec(search_run)], adaptive,
+                                 seed=SEED).run()
+    print(f"  {r_adaptive.summary()}   <- audits and corrects\n")
+
+    print("FlexFetch audit ledger (measured vs counterfactual, J):")
+    for t, measured, counterfactual, chosen in adaptive.audit_log[:6]:
+        verdict = ("stick" if counterfactual >= measured * 0.9
+                   else f"override -> {chosen.other.value}")
+        print(f"  t={t:7.1f}s  chosen={chosen.value:7s}"
+              f"  measured={measured:7.1f}  alternative would have cost"
+              f"={counterfactual:7.1f}  -> {verdict}")
+
+    saved = 1.0 - r_adaptive.total_energy / r_static.total_energy
+    over = r_adaptive.total_energy / baselines["BlueFS"].total_energy - 1.0
+    print(f"\nadaptive FlexFetch uses {saved:.0%} less energy than the"
+          f" static variant (paper: ~36%),\nand pays {over:.0%} over the"
+          " reactive BlueFS (paper: ~15%) — the price of one\n"
+          "exploratory stage before the audit catches the stale profile.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Bandwidth adaptation on the §3.3.2 streaming scenario.
+
+Sweeps the 802.11b rates and shows FlexFetch's source selection
+flipping: at 5.5-11 Mbps it streams from the remote server (tracking
+WNIC-only); at 1-2 Mbps the link can no longer keep up and it rides the
+local disk instead, saving up to ~50% against WNIC-only — the paper's
+"up to 45% less" claim.
+
+Run::
+
+    python examples/streaming_adaptation.py
+"""
+
+from repro import (
+    AIRONET_350,
+    DataSource,
+    DiskOnlyPolicy,
+    FlexFetchPolicy,
+    ProgramSpec,
+    ReplaySimulator,
+    WnicOnlyPolicy,
+    profile_from_trace,
+)
+from repro.sim.clock import Mbps
+from repro.traces.synth import generate_mplayer
+
+SEED = 7
+RATES_MBPS = (1.0, 2.0, 5.5, 11.0)
+
+
+def main() -> None:
+    trace = generate_mplayer(seed=SEED)
+    profile = profile_from_trace(trace)
+    print(f"workload: {trace.name}"
+          f" ({trace.stats().footprint_mb:.0f} MB of movies)\n")
+    print(f"{'rate':>6s} {'Disk-only':>11s} {'WNIC-only':>11s}"
+          f" {'FlexFetch':>11s}  {'FF source mix':>22s}"
+          f" {'vs WNIC-only':>13s}")
+
+    for rate in RATES_MBPS:
+        wnic = AIRONET_350.with_link(bandwidth_bps=Mbps(rate))
+        disk = ReplaySimulator([ProgramSpec(trace)], DiskOnlyPolicy(),
+                               wnic_spec=wnic, seed=SEED).run()
+        only = ReplaySimulator([ProgramSpec(trace)], WnicOnlyPolicy(),
+                               wnic_spec=wnic, seed=SEED).run()
+        ff_policy = FlexFetchPolicy(profile)
+        ff = ReplaySimulator([ProgramSpec(trace)], ff_policy,
+                             wnic_spec=wnic, seed=SEED).run()
+
+        disk_mb = ff_policy.routed_bytes[DataSource.DISK] / 1e6
+        net_mb = ff_policy.routed_bytes[DataSource.NETWORK] / 1e6
+        saving = 1.0 - ff.total_energy / only.total_energy
+        print(f"{rate:4.1f}Mb {disk.total_energy:10.1f}J"
+              f" {only.total_energy:10.1f}J {ff.total_energy:10.1f}J"
+              f"  disk {disk_mb:6.1f}MB net {net_mb:6.1f}MB"
+              f" {saving:12.0%}")
+
+    print("\nReading the table: FlexFetch routes the stream over the"
+          " network while the link\nsustains the bitrate, and falls back"
+          " to the spinning disk below ~2 Mbps, where\nWNIC-only's"
+          " transfer times (and CAM energy) blow up.")
+
+
+if __name__ == "__main__":
+    main()

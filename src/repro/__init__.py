@@ -1,0 +1,71 @@
+"""FlexFetch (ICPP 2007) reproduction.
+
+A trace-driven simulation study of history-aware I/O data-source
+selection for mobile energy saving: should a request be serviced from
+the local laptop disk or from a remote replica over the wireless NIC?
+
+Public API tour
+---------------
+Workloads::
+
+    from repro.traces.synth import generate_mplayer
+    trace = generate_mplayer(seed=7)
+
+Policies and replay::
+
+    from repro import (DiskOnlyPolicy, WnicOnlyPolicy, BlueFSPolicy,
+                       FlexFetchPolicy, ProgramSpec, ReplaySimulator,
+                       profile_from_trace)
+    profile = profile_from_trace(trace)          # the recorded history
+    sim = ReplaySimulator([ProgramSpec(trace)], FlexFetchPolicy(profile))
+    result = sim.run()
+    print(result.total_energy, result.end_time)
+
+Paper evaluation::
+
+    from repro.experiments import figure2, render_figure
+    print(render_figure(figure2()))
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro.core.bluefs import BlueFSConfig, BlueFSPolicy
+from repro.core.decision import DataSource, decide
+from repro.core.flexfetch import FlexFetchConfig, FlexFetchPolicy
+from repro.core.policies import DiskOnlyPolicy, Policy, WnicOnlyPolicy
+from repro.core.profile import ExecutionProfile, profile_from_trace
+from repro.core.simulator import (
+    MobileSystem,
+    ProgramSpec,
+    ReplaySimulator,
+    RunResult,
+)
+from repro.devices.specs import AIRONET_350, HITACHI_DK23DA, DiskSpec, WnicSpec
+from repro.traces.trace import Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlueFSConfig",
+    "BlueFSPolicy",
+    "DataSource",
+    "decide",
+    "FlexFetchConfig",
+    "FlexFetchPolicy",
+    "DiskOnlyPolicy",
+    "Policy",
+    "WnicOnlyPolicy",
+    "ExecutionProfile",
+    "profile_from_trace",
+    "MobileSystem",
+    "ProgramSpec",
+    "ReplaySimulator",
+    "RunResult",
+    "AIRONET_350",
+    "HITACHI_DK23DA",
+    "DiskSpec",
+    "WnicSpec",
+    "Trace",
+    "__version__",
+]

@@ -1,0 +1,207 @@
+"""Command-line entry point.
+
+::
+
+    flexfetch tables                 # render Tables 1-3
+    flexfetch figure fig1            # run + render one figure
+    flexfetch figure fig2 --panel a  # latency panel only
+    flexfetch all                    # everything (slow)
+    flexfetch run mplayer            # single workload, all policies,
+                                     # default link settings
+
+``python -m repro`` is equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.bluefs import BlueFSPolicy
+from repro.core.flexfetch import FlexFetchPolicy
+from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
+from repro.core.profile import profile_from_trace
+from repro.core.simulator import ProgramSpec, ReplaySimulator
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import FIGURES
+from repro.experiments.report import render_figure, render_table, sweep_to_csv
+from repro.experiments.tables import table1, table2, table3
+from repro.traces.io import save_trace_csv, save_trace_jsonl
+from repro.traces.strace import format_strace_line
+from repro.traces.synth import TABLE3_GENERATORS
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    for table in (table1(), table2(), table3(seed=args.seed)):
+        print(render_table(table))
+        print()
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    builder = FIGURES.get(args.figure)
+    if builder is None:
+        print(f"unknown figure {args.figure!r}; choose from"
+              f" {sorted(FIGURES)}", file=sys.stderr)
+        return 2
+    config = ExperimentConfig(seed=args.seed)
+    progress = (lambda line: print(f"  {line}", file=sys.stderr)) \
+        if args.verbose else None
+    result = builder(config, panels=args.panel, progress=progress)
+    print(render_figure(result))
+    if args.svg:
+        from repro.experiments.svg import save_figure_svg
+        for path in save_figure_svg(result, args.svg):
+            print(f"wrote {path}", file=sys.stderr)
+    if args.csv:
+        if result.by_latency:
+            print("# panel (a) CSV")
+            print(sweep_to_csv(result.by_latency))
+        if result.by_bandwidth:
+            print("# panel (b) CSV")
+            print(sweep_to_csv(result.by_bandwidth))
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    rc = _cmd_tables(args)
+    for figure_id in FIGURES:
+        args.figure = figure_id
+        rc |= _cmd_figure(args)
+    return rc
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.traces.synth.scenarios import SCENARIOS, build_scenario
+    if args.workload not in SCENARIOS:
+        print(f"unknown scenario {args.workload!r}; choose from"
+              f" {sorted(SCENARIOS)}", file=sys.stderr)
+        return 2
+    config = ExperimentConfig(seed=args.seed)
+    scenario = build_scenario(args.workload, seed=args.seed)
+    total_calls = sum(len(p.trace) for p in scenario.programs)
+    print(f"scenario {scenario.name}: {scenario.description}")
+    print(f"  {len(scenario.programs)} program(s), {total_calls} calls")
+    policies = [DiskOnlyPolicy(), WnicOnlyPolicy(), BlueFSPolicy(),
+                FlexFetchPolicy(scenario.profile)]
+    for policy in policies:
+        sim = ReplaySimulator(list(scenario.programs), policy,
+                              disk_spec=config.disk_spec,
+                              wnic_spec=config.wnic_spec,
+                              memory_bytes=config.memory_bytes,
+                              seed=config.seed)
+        print(" ", sim.run().summary())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    gen = TABLE3_GENERATORS.get(args.workload)
+    if gen is None:
+        print(f"unknown workload {args.workload!r}; choose from"
+              f" {sorted(TABLE3_GENERATORS)}", file=sys.stderr)
+        return 2
+    trace = gen(seed=args.seed)
+    if args.format == "jsonl":
+        save_trace_jsonl(trace, args.out)
+    elif args.format == "csv":
+        save_trace_csv(trace, args.out)
+    else:  # strace collector text
+        with open(args.out, "w", encoding="utf-8") as fh:
+            paths = {i: f.path for i, f in trace.files.items()}
+            for rec in trace.records:
+                fh.write(format_strace_line(
+                    rec, path=paths.get(rec.inode),
+                    epoch=1_183_900_000.0) + "\n")
+    stats = trace.stats()
+    print(f"wrote {args.out}: {stats.record_count} records,"
+          f" {stats.file_count} files,"
+          f" {stats.footprint_mb:.1f} MB footprint")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.traces.analysis import analyze_trace
+    from repro.traces.synth.scenarios import SCENARIOS, build_scenario
+    if args.workload not in SCENARIOS:
+        print(f"unknown scenario {args.workload!r}; choose from"
+              f" {sorted(SCENARIOS)}", file=sys.stderr)
+        return 2
+    scenario = build_scenario(args.workload, seed=args.seed)
+    for spec in scenario.programs:
+        print(analyze_trace(spec.trace).render())
+        flags = []
+        if not spec.profiled:
+            flags.append("non-profiled")
+        if spec.disk_pinned:
+            flags.append("disk-pinned")
+        if flags:
+            print(f"  ({', '.join(flags)})")
+        print()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="flexfetch",
+        description="FlexFetch (ICPP 2007) reproduction harness")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="experiment seed (default 7)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("tables", help="render Tables 1-3")
+
+    p_fig = sub.add_parser("figure", help="run one figure")
+    p_fig.add_argument("figure", choices=sorted(FIGURES))
+    p_fig.add_argument("--panel", default="ab", choices=["a", "b", "ab"],
+                       help="which panel(s) to run")
+    p_fig.add_argument("--csv", action="store_true",
+                       help="also dump CSV data")
+    p_fig.add_argument("--verbose", action="store_true",
+                       help="per-point progress on stderr")
+    p_fig.add_argument("--svg", metavar="DIR",
+                       help="also write SVG charts into DIR")
+
+    p_all = sub.add_parser("all", help="run every table and figure")
+    p_all.add_argument("--panel", default="ab", choices=["a", "b", "ab"])
+    p_all.add_argument("--csv", action="store_true")
+    p_all.add_argument("--verbose", action="store_true")
+    p_all.add_argument("--svg", metavar="DIR",
+                       help="also write SVG charts into DIR")
+
+    from repro.traces.synth.scenarios import SCENARIOS
+    p_run = sub.add_parser("run",
+                           help="one scenario, all policies, default link")
+    p_run.add_argument("workload", choices=sorted(SCENARIOS))
+
+    p_inspect = sub.add_parser(
+        "inspect", help="burst/think structure report of a scenario")
+    p_inspect.add_argument("workload", choices=sorted(SCENARIOS))
+
+    p_trace = sub.add_parser(
+        "trace", help="synthesise a workload trace and write it to disk")
+    p_trace.add_argument("workload", choices=sorted(TABLE3_GENERATORS))
+    p_trace.add_argument("--out", required=True,
+                         help="output file path")
+    p_trace.add_argument("--format", default="jsonl",
+                         choices=["jsonl", "csv", "strace"],
+                         help="on-disk format (default jsonl)")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point (console script ``flexfetch``)."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "tables": _cmd_tables,
+        "figure": _cmd_figure,
+        "all": _cmd_all,
+        "run": _cmd_run,
+        "trace": _cmd_trace,
+        "inspect": _cmd_inspect,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

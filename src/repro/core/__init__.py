@@ -1,0 +1,54 @@
+"""FlexFetch core: profiling, decision, policies, and the replay simulator.
+
+* :mod:`repro.core.burst` — I/O-burst extraction from syscall traces (§2.1).
+* :mod:`repro.core.profile` — execution profiles and evaluation stages (§2.2).
+* :mod:`repro.core.estimator` — per-stage (time, energy) what-if estimation
+  using cloned device simulators (§2.2).
+* :mod:`repro.core.decision` — the three data-source rules with the
+  user-specified loss rate (§2.2).
+* :mod:`repro.core.policies` — the policy interface plus the Disk-only and
+  WNIC-only baselines (§3.1).
+* :mod:`repro.core.bluefs` — the BlueFS-style reactive policy with ghost
+  hints (§1.2, §3.3).
+* :mod:`repro.core.flexfetch` — FlexFetch and FlexFetch-static (§2).
+* :mod:`repro.core.simulator` — the trace-driven closed-loop replay that
+  produces every number in the evaluation (§3.1).
+"""
+
+from repro.core.burst import BURST_THRESHOLD_DEFAULT, IOBurst, ProfiledRequest, extract_bursts
+from repro.core.decision import DataSource, DecisionInputs, decide
+from repro.core.estimator import StageEstimate, estimate_stage
+from repro.core.flexfetch import FlexFetchConfig, FlexFetchPolicy
+from repro.core.oracle import ClairvoyantStagePolicy
+from repro.core.bluefs import BlueFSConfig, BlueFSPolicy
+from repro.core.policies import DiskOnlyPolicy, Policy, RequestContext, WnicOnlyPolicy
+from repro.core.profile import ExecutionProfile, Stage, profile_from_trace
+from repro.core.simulator import MobileSystem, ProgramSpec, ReplaySimulator, RunResult
+
+__all__ = [
+    "BURST_THRESHOLD_DEFAULT",
+    "IOBurst",
+    "ProfiledRequest",
+    "extract_bursts",
+    "DataSource",
+    "DecisionInputs",
+    "decide",
+    "StageEstimate",
+    "estimate_stage",
+    "FlexFetchConfig",
+    "FlexFetchPolicy",
+    "ClairvoyantStagePolicy",
+    "BlueFSConfig",
+    "BlueFSPolicy",
+    "DiskOnlyPolicy",
+    "Policy",
+    "RequestContext",
+    "WnicOnlyPolicy",
+    "ExecutionProfile",
+    "Stage",
+    "profile_from_trace",
+    "MobileSystem",
+    "ProgramSpec",
+    "ReplaySimulator",
+    "RunResult",
+]

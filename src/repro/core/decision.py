@@ -1,0 +1,82 @@
+"""The data-source decision rules (§2.2).
+
+Given estimated execution time and energy for servicing a stage from the
+disk and from the network, and a user-specified maximum tolerable
+performance-loss rate ``m``:
+
+1. if the disk is faster *and* cheaper, use the disk;
+2. if the network is faster *and* cheaper, use the network;
+3. if the network is cheaper but slower, use it only when the relative
+   energy saving is at least the relative slow-down *and* the slow-down
+   stays below ``m``; otherwise use the disk.
+
+The paper words rule 3 from the network's perspective; by symmetry the
+same trade governs a cheaper-but-slower disk, which the implementation
+handles with the mirrored condition so the rule set is total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+#: Default maximum tolerable performance loss rate (§3.1: 25 %).
+LOSS_RATE_DEFAULT: float = 0.25
+
+
+class DataSource(str, Enum):
+    """Where a stage's I/O requests are serviced."""
+
+    DISK = "disk"
+    NETWORK = "network"
+
+    @property
+    def other(self) -> "DataSource":
+        return (DataSource.NETWORK if self is DataSource.DISK
+                else DataSource.DISK)
+
+
+@dataclass(frozen=True, slots=True)
+class DecisionInputs:
+    """Stage estimates feeding the rules."""
+
+    t_disk: float
+    e_disk: float
+    t_network: float
+    e_network: float
+
+    def __post_init__(self) -> None:
+        for name in ("t_disk", "e_disk", "t_network", "e_network"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} cannot be negative")
+
+
+def decide(inputs: DecisionInputs, *,
+           loss_rate: float = LOSS_RATE_DEFAULT) -> DataSource:
+    """Apply the §2.2 rules; ties favour the disk (rule 3's fallback)."""
+    if loss_rate < 0:
+        raise ValueError("loss rate cannot be negative")
+    t_d, e_d = inputs.t_disk, inputs.e_disk
+    t_n, e_n = inputs.t_network, inputs.e_network
+
+    if t_d < t_n and e_d < e_n:
+        return DataSource.DISK
+    if t_n < t_d and e_n < e_d:
+        return DataSource.NETWORK
+
+    if e_n < e_d:
+        # Network cheaper but not faster: accept bounded slow-down.
+        saving = (e_d - e_n) / e_d if e_d > 0 else 0.0
+        slowdown = (t_n - t_d) / t_d if t_d > 0 else float("inf")
+        if saving >= slowdown and slowdown < loss_rate:
+            return DataSource.NETWORK
+        return DataSource.DISK
+    if e_d < e_n:
+        # Mirrored case: disk cheaper but not faster.
+        saving = (e_n - e_d) / e_n if e_n > 0 else 0.0
+        slowdown = (t_d - t_n) / t_n if t_n > 0 else float("inf")
+        if saving >= slowdown and slowdown < loss_rate:
+            return DataSource.DISK
+        return DataSource.NETWORK
+    # Equal energy: take the faster device, disk on a perfect tie.
+    return DataSource.NETWORK if t_n < t_d else DataSource.DISK

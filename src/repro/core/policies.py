@@ -1,0 +1,122 @@
+"""Policy interface and the fixed-source baselines (§3.1).
+
+A *policy* answers one question per device-bound request: disk or
+network?  The replay simulator asks via :meth:`Policy.choose` and feeds
+back what actually happened via the observation hooks, which is all the
+adaptive policies (BlueFS, FlexFetch) need to do their accounting.
+
+The two fixed baselines — **Disk-only** and **WNIC-only** — are what the
+paper plots alongside FlexFetch and BlueFS in every figure.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.core.decision import DataSource
+from repro.traces.record import OpType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.simulator import MobileSystem
+
+
+@dataclass(frozen=True, slots=True)
+class RequestContext:
+    """Everything a policy may inspect about one device-bound request.
+
+    ``profiled`` distinguishes foreground programs FlexFetch has a
+    profile for from background programs (xmms in §3.3.4);
+    ``disk_pinned`` marks data that exists *only* on the local disk and
+    therefore gives the policy no choice.
+    """
+
+    now: float
+    program: str
+    profiled: bool
+    disk_pinned: bool
+    inode: int
+    offset: int
+    nbytes: int
+    op: OpType
+
+
+class Policy(ABC):
+    """Data-source selection policy."""
+
+    name: str = "policy"
+
+    def __init__(self) -> None:
+        self.env: "MobileSystem | None" = None
+        #: per-source request/byte tallies for reporting.
+        self.routed_requests = {DataSource.DISK: 0, DataSource.NETWORK: 0}
+        self.routed_bytes = {DataSource.DISK: 0, DataSource.NETWORK: 0}
+
+    # ------------------------------------------------------------------
+    def attach(self, env: "MobileSystem") -> None:
+        """Called once by the simulator before the run starts."""
+        self.env = env
+
+    def begin_run(self, now: float) -> None:
+        """Called at simulation start (after attach)."""
+
+    def end_run(self, now: float) -> None:
+        """Called after the last request completes."""
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def choose(self, ctx: RequestContext) -> DataSource:
+        """Route one request.  Must be side-effect-light and fast."""
+
+    def route(self, ctx: RequestContext) -> DataSource:
+        """Wrapper the simulator calls: applies pinning + tallies."""
+        source = DataSource.DISK if ctx.disk_pinned else self.choose(ctx)
+        self.routed_requests[source] += 1
+        self.routed_bytes[source] += ctx.nbytes
+        return source
+
+    # -- observation hooks -------------------------------------------------
+    def on_serviced(self, ctx: RequestContext, source: DataSource,
+                    result: Any) -> None:
+        """A request finished; ``result`` is the device service record."""
+
+    def on_syscall(self, ctx: RequestContext, start: float,
+                   end: float) -> None:
+        """A profiled program's read/write *system call* completed.
+
+        This is the demand-level stream the paper's profiler records
+        (§2.1) — it fires for every data-moving call, including ones
+        fully absorbed by the page cache, with the byte count the
+        application asked for (not what devices moved).  FlexFetch
+        builds its current-run profile and tracks its position in the
+        old profile from this stream.
+        """
+
+    def on_tick(self, now: float) -> None:
+        """Called before each syscall is processed (time advances)."""
+
+    def on_external_disk_request(self, now: float) -> None:
+        """A non-profiled program touched the disk (§2.3.3 free-rider)."""
+
+
+class DiskOnlyPolicy(Policy):
+    """Always the local hard disk — the hoarding status quo."""
+
+    name = "Disk-only"
+
+    def choose(self, ctx: RequestContext) -> DataSource:
+        return DataSource.DISK
+
+
+class WnicOnlyPolicy(Policy):
+    """Always the remote server via the WNIC.
+
+    Requests for disk-pinned data still go to the disk (handled by
+    :meth:`Policy.route`), since that data has no remote replica.
+    """
+
+    name = "WNIC-only"
+
+    def choose(self, ctx: RequestContext) -> DataSource:
+        return DataSource.NETWORK

@@ -1,0 +1,305 @@
+"""Trace-driven closed-loop replay (§3.1).
+
+"We built a simulator that is driven by real-life applications'
+execution traces...  It simulates the management of two storage devices
+(hard disk and wireless interface card) and the buffer cache in the
+memory."  This module is that simulator:
+
+* each program replays **closed-loop**: request *i+1* issues one
+  recorded think time after request *i* completes, so slow devices
+  stretch the run (and the performance-loss rule has teeth);
+* every syscall walks the kernel path (cache -> readahead -> miss
+  extents); only misses reach a device;
+* the policy under test routes each miss extent to the disk or the
+  WNIC; devices integrate energy continuously, including DPM timeouts
+  firing inside think gaps;
+* non-profiled, disk-pinned background programs (xmms in §3.3.4) share
+  the disk and the cache and are reported to the policy as external
+  disk activity;
+* laptop-mode write-back flushes piggy-back on an active disk and are
+  asynchronous (they cost device time and energy but never delay the
+  program).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.decision import DataSource
+from repro.core.policies import Policy, RequestContext
+from repro.devices.disk import DiskState, HardDisk
+from repro.devices.dpm import SpindownPolicy
+from repro.devices.layout import BLOCK_SIZE, DiskLayout
+from repro.devices.specs import HITACHI_DK23DA, AIRONET_350, DiskSpec, WnicSpec
+from repro.devices.wnic import Direction, WirelessNic, WnicMode
+from repro.kernel.page import Extent
+from repro.kernel.scheduler import CScanScheduler, DiskExtent
+from repro.kernel.vfs import VirtualFileSystem
+from repro.sim.clock import MB
+from repro.sim.engine import EventLoop
+from repro.traces.record import OpType, SyscallRecord
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class ProgramSpec:
+    """One program participating in a replay.
+
+    ``profiled`` — FlexFetch has (or builds) a profile for it;
+    ``disk_pinned`` — its data exists only on the local disk (no remote
+    replica), so every request must go to the disk.
+    """
+
+    trace: Trace
+    profiled: bool = True
+    disk_pinned: bool = False
+
+
+@dataclass
+class RunResult:
+    """Everything a replay produces."""
+
+    policy: str
+    end_time: float
+    foreground_time: float
+    disk_energy: float
+    wnic_energy: float
+    requests: int
+    device_requests: dict[str, int]
+    device_bytes: dict[str, int]
+    cache_hit_ratio: float
+    disk_spinups: int
+    disk_spindowns: int
+    wnic_wakeups: int
+    disk_breakdown: dict[str, float] = field(default_factory=dict)
+    wnic_breakdown: dict[str, float] = field(default_factory=dict)
+    disk_residency: dict[str, float] = field(default_factory=dict)
+    wnic_residency: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_energy(self) -> float:
+        """Total I/O energy: disk plus WNIC (the paper's y-axis)."""
+        return self.disk_energy + self.wnic_energy
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (f"{self.policy:18s} E={self.total_energy:8.1f} J"
+                f" (disk {self.disk_energy:7.1f} / wnic"
+                f" {self.wnic_energy:7.1f})  T={self.end_time:8.1f} s")
+
+
+class MobileSystem:
+    """Shared environment: devices, kernel path, and disk layout."""
+
+    def __init__(self, *, disk_spec: DiskSpec = HITACHI_DK23DA,
+                 wnic_spec: WnicSpec = AIRONET_350,
+                 memory_bytes: int = 64 * MB,
+                 seed: int = 0,
+                 spindown_policy: SpindownPolicy | None = None) -> None:
+        self.disk = HardDisk(disk_spec, spindown_policy=spindown_policy)
+        self.wnic = WirelessNic(wnic_spec)
+        self.vfs = VirtualFileSystem(memory_bytes)
+        self.layout = DiskLayout(seed)
+        self.scheduler = CScanScheduler()
+
+    def register_trace(self, trace: Trace) -> None:
+        """Make a trace's files known to the VFS and the disk layout."""
+        for info in sorted(trace.files.values(), key=lambda f: f.inode):
+            self.vfs.register_file(info.inode, info.size_bytes)
+            self.layout.add_file(info.inode, max(info.size_bytes, 1))
+
+    @property
+    def disk_active(self) -> bool:
+        """Disk spinning (idle or active)?"""
+        return self.disk.state != DiskState.STANDBY.value
+
+    def advance(self, now: float) -> None:
+        """Advance both devices (DPM timers fire as needed)."""
+        self.disk.advance_to(now)
+        self.wnic.advance_to(now)
+
+
+class _ProgramState:
+    """Replay cursor of one program."""
+
+    def __init__(self, spec: ProgramSpec) -> None:
+        self.spec = spec
+        self.records: list[SyscallRecord] = spec.trace.data_records()
+        # Closed-loop think times: gap between call i's return and call
+        # i+1's entry in the recording.
+        self.thinks: list[float] = [
+            max(0.0, nxt.timestamp - cur.end_time)
+            for cur, nxt in zip(self.records, self.records[1:])
+        ]
+        self.index = 0
+        self.last_completion = 0.0
+        self.done = not self.records
+
+    @property
+    def name(self) -> str:
+        return self.spec.trace.name
+
+
+class ReplaySimulator:
+    """Replays programs under a policy and accounts the energy."""
+
+    def __init__(self, programs: list[ProgramSpec], policy: Policy, *,
+                 disk_spec: DiskSpec = HITACHI_DK23DA,
+                 wnic_spec: WnicSpec = AIRONET_350,
+                 memory_bytes: int = 64 * MB,
+                 seed: int = 0,
+                 spindown_policy: SpindownPolicy | None = None) -> None:
+        if not programs:
+            raise ValueError("need at least one program")
+        self.env = MobileSystem(disk_spec=disk_spec, wnic_spec=wnic_spec,
+                                memory_bytes=memory_bytes, seed=seed,
+                                spindown_policy=spindown_policy)
+        for spec in programs:
+            self.env.register_trace(spec.trace)
+        self.policy = policy
+        self.programs = [_ProgramState(s) for s in programs]
+        self.loop = EventLoop()
+        self._request_count = 0
+
+    # ------------------------------------------------------------------
+    # device service
+    # ------------------------------------------------------------------
+    def _service_extent(self, extent: Extent, source: DataSource,
+                        when: float, op: OpType):
+        """Move one extent on the chosen device, returning its result."""
+        if source is DataSource.DISK:
+            block = self.env.layout.block_of(extent.inode,
+                                             extent.start * BLOCK_SIZE)
+            return self.env.disk.service(when, extent.nbytes, block=block,
+                                         block_count=extent.npages)
+        direction = Direction.RECV if op is OpType.READ else Direction.SEND
+        return self.env.wnic.service(when, extent.nbytes,
+                                     direction=direction)
+
+    def _route_and_service(self, prog: _ProgramState, extent: Extent,
+                           when: float, op: OpType) -> float:
+        """Policy-route one extent; returns its completion time."""
+        ctx = RequestContext(
+            now=when, program=prog.name, profiled=prog.spec.profiled,
+            disk_pinned=prog.spec.disk_pinned, inode=extent.inode,
+            offset=extent.start * BLOCK_SIZE, nbytes=extent.nbytes, op=op)
+        source = self.policy.route(ctx)
+        result = self._service_extent(extent, source, when, op)
+        if op is OpType.READ:
+            self.env.vfs.complete_fetch(extent, result.completion)
+        if not prog.spec.profiled and source is DataSource.DISK:
+            self.policy.on_external_disk_request(when)
+        self.policy.on_serviced(ctx, source, result)
+        return result.completion
+
+    def _order_for_disk(self, extents: list[Extent]) -> list[Extent]:
+        """C-SCAN-order a batch of extents by their disk placement."""
+        if len(extents) <= 1:
+            return extents
+        requests = [
+            DiskExtent(extent=e,
+                       start_block=self.env.layout.block_of(
+                           e.inode, e.start * BLOCK_SIZE))
+            for e in extents
+        ]
+        return [r.extent for r in self.env.scheduler.order(requests)]
+
+    # ------------------------------------------------------------------
+    # syscall processing
+    # ------------------------------------------------------------------
+    def _process(self, prog: _ProgramState) -> None:
+        now = self.loop.now
+        rec = prog.records[prog.index]
+        self._request_count += 1
+        self.env.advance(now)
+        self.policy.on_tick(now)
+
+        if rec.op is OpType.READ:
+            plan = self.env.vfs.read(rec.pid, rec.inode, rec.offset,
+                                     rec.size, now)
+            completion = now
+            extents = self._order_for_disk(list(plan.fetch_extents))
+            for extent in extents:
+                completion = self._route_and_service(
+                    prog, extent, completion, OpType.READ)
+        else:
+            forced = self.env.vfs.write(rec.pid, rec.inode, rec.offset,
+                                        rec.size, now)
+            completion = now  # async write-back: write() returns at once
+            for extent in forced:
+                # Forced evictions must hit a device immediately; they
+                # run asynchronously and do not delay the program.
+                self._route_and_service(prog, extent, now, OpType.WRITE)
+
+        # Laptop-mode opportunistic flush.
+        flush = self.env.vfs.plan_writeback(
+            completion, disk_active=self.env.disk_active)
+        for extent in flush:
+            self._route_and_service(prog, extent, completion, OpType.WRITE)
+
+        if prog.spec.profiled and rec.size > 0:
+            # Demand-level observation (§2.1): every data-moving call,
+            # cached or not, with the application's byte count.
+            self.policy.on_syscall(RequestContext(
+                now=now, program=prog.name, profiled=True,
+                disk_pinned=prog.spec.disk_pinned, inode=rec.inode,
+                offset=rec.offset, nbytes=rec.size, op=rec.op),
+                now, completion)
+
+        prog.last_completion = completion
+        prog.index += 1
+        if prog.index >= len(prog.records):
+            prog.done = True
+            return
+        think = prog.thinks[prog.index - 1]
+        self.loop.schedule_at(completion + think,
+                              lambda p=prog: self._process(p),
+                              label=f"{prog.name}[{prog.index}]")
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Replay everything; returns the accounting."""
+        self.policy.attach(self.env)
+        self.policy.begin_run(0.0)
+        for prog in self.programs:
+            if not prog.done:
+                first = prog.records[0]
+                self.loop.schedule_at(first.timestamp,
+                                      lambda p=prog: self._process(p),
+                                      label=f"{prog.name}[0]")
+        self.loop.run()
+        end_time = max((p.last_completion for p in self.programs),
+                       default=0.0)
+        # Asynchronous flushes and in-flight transitions can commit the
+        # devices past the last program completion; the run ends (and
+        # energy/residency are measured) once all I/O has settled, so
+        # the books balance exactly.
+        end_time = max(end_time, self.env.disk.busy_until,
+                       self.env.wnic.busy_until)
+        self.env.advance(end_time)
+        self.policy.end_run(end_time)
+
+        fg_time = max((p.last_completion for p in self.programs
+                       if p.spec.profiled), default=0.0)
+        disk_e = self.env.disk.energy(end_time)
+        wnic_e = self.env.wnic.energy(end_time)
+        return RunResult(
+            policy=self.policy.name,
+            end_time=end_time,
+            foreground_time=fg_time,
+            disk_energy=disk_e,
+            wnic_energy=wnic_e,
+            requests=self._request_count,
+            device_requests={k.value: v for k, v
+                             in self.policy.routed_requests.items()},
+            device_bytes={k.value: v for k, v
+                          in self.policy.routed_bytes.items()},
+            cache_hit_ratio=self.env.vfs.cache.stats.hit_ratio,
+            disk_spinups=self.env.disk.spinup_count,
+            disk_spindowns=self.env.disk.spindown_count,
+            wnic_wakeups=self.env.wnic.wakeup_count,
+            disk_breakdown=self.env.disk.meter.breakdown(),
+            wnic_breakdown=self.env.wnic.meter.breakdown(),
+            disk_residency=self.env.disk.residency(end_time),
+            wnic_residency=self.env.wnic.residency(end_time),
+        )

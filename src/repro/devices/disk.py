@@ -1,0 +1,316 @@
+"""Hard-disk model.
+
+Implements the four-state laptop disk of §1.1 with the paper's
+Hitachi DK23DA parameters (Table 1):
+
+* states **active** (transferring, 2.0 W), **idle** (spinning, 1.6 W),
+  **standby** (spun down, 0.15 W), and — optionally, the paper's
+  experiments never enter it — **sleep** (electronics off, hard reset
+  to wake), enabled by setting ``sleep_timeout`` on the spec;
+* timeout-driven spin-down after 20 s of inactivity (Linux laptop-mode
+  default), costing 2.94 J over 2.3 s;
+* demand spin-up on a request arriving in standby, costing 5.0 J over
+  1.6 s — this is why a spun-down disk takes "about one second or more"
+  to deliver the first byte (§1.1);
+* request service = head positioning (average seek + rotation, skipped
+  for transfers sequential with the previous one) + transfer at peak
+  bandwidth.
+
+The model is shared by the *real* replay simulator and by FlexFetch's
+online what-if estimators (via :meth:`~PowerStateMachine.clone`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.devices.dpm import FixedTimeout, SpindownPolicy
+from repro.devices.power import PowerStateMachine, StateSpec, TransitionSpec
+from repro.devices.specs import HITACHI_DK23DA, DiskSpec
+from repro.sim.clock import seconds_to_transfer
+
+
+class DiskState(str, Enum):
+    """Disk power states (paper §1.1)."""
+
+    ACTIVE = "active"
+    IDLE = "idle"
+    STANDBY = "standby"
+    SLEEP = "sleep"
+
+
+@dataclass(frozen=True, slots=True)
+class DiskServiceResult:
+    """Outcome of one disk request.
+
+    ``energy`` is the marginal joules attributable to this request —
+    positioning + transfer + any demand spin-up — *excluding* idle energy
+    accrued before arrival (that belongs to the inter-request gap).
+    """
+
+    arrival: float
+    start: float
+    first_byte: float
+    completion: float
+    energy: float
+    spun_up: bool
+    waited_for_spindown: bool
+
+
+class HardDisk(PowerStateMachine):
+    """Timeout-DPM laptop hard disk.
+
+    Parameters
+    ----------
+    spec:
+        Disk parameters; defaults to the paper's Hitachi DK23DA.
+    start_time:
+        Simulation time at construction.
+    initially_standby:
+        Whether the disk starts spun down (the experiments start with a
+        cold disk, which is what gives WNIC its §3.3 edge on the first
+        small requests).
+    spindown_policy:
+        Idle-timeout policy; defaults to the paper's fixed threshold
+        (``spec.spindown_timeout``).  Pass an
+        :class:`~repro.devices.dpm.AdaptiveTimeout` to study FlexFetch
+        over an adapting DPM.
+    """
+
+    def __init__(self, spec: DiskSpec = HITACHI_DK23DA,
+                 start_time: float = 0.0, *,
+                 initially_standby: bool = True,
+                 spindown_policy: SpindownPolicy | None = None) -> None:
+        self.spec = spec
+        initial = DiskState.STANDBY if initially_standby else DiskState.IDLE
+        super().__init__(
+            name="disk",
+            states=[
+                StateSpec(DiskState.ACTIVE.value, spec.active_power),
+                StateSpec(DiskState.IDLE.value, spec.idle_power),
+                StateSpec(DiskState.STANDBY.value, spec.standby_power),
+                StateSpec(DiskState.SLEEP.value, spec.sleep_power),
+            ],
+            transitions=[
+                TransitionSpec(DiskState.IDLE.value, DiskState.STANDBY.value,
+                               spec.spindown_time, spec.spindown_energy),
+                TransitionSpec(DiskState.STANDBY.value,
+                               DiskState.ACTIVE.value,
+                               spec.spinup_time, spec.spinup_energy),
+                TransitionSpec(DiskState.ACTIVE.value, DiskState.IDLE.value,
+                               0.0, 0.0),
+                TransitionSpec(DiskState.IDLE.value, DiskState.ACTIVE.value,
+                               0.0, 0.0),
+                TransitionSpec(DiskState.STANDBY.value,
+                               DiskState.SLEEP.value, 0.0, 0.0),
+                TransitionSpec(DiskState.SLEEP.value,
+                               DiskState.ACTIVE.value,
+                               spec.wake_time, spec.wake_energy),
+            ],
+            initial_state=initial.value,
+            start_time=start_time,
+        )
+        self._spindown_policy = spindown_policy \
+            or FixedTimeout(spec.spindown_timeout)
+        #: ending block address of the last transfer, for sequentiality.
+        self._head_position: int | None = None
+        #: count of demand spin-ups / timeout spin-downs (diagnostics).
+        self.spinup_count = 0
+        self.spindown_count = 0
+        self.sleep_count = 0
+        #: completion time of the last spin-down (quiet-period feedback).
+        self._quiet_since: float | None = None
+
+    def clone(self) -> "HardDisk":
+        new = super().clone()
+        # Stateful DPM policies must not share mutable state with
+        # what-if clones.
+        new._spindown_policy = self._spindown_policy.clone()
+        return new
+
+    @property
+    def spindown_policy(self) -> SpindownPolicy:
+        return self._spindown_policy
+
+    # ------------------------------------------------------------------
+    # DPM policy
+    # ------------------------------------------------------------------
+    def _apply_dpm(self, time: float) -> None:
+        """Fire timeout transitions occurring within (last, time]:
+        idle -> standby, and (when enabled) standby -> sleep."""
+        if self.state == DiskState.IDLE.value:
+            deadline = max(self.last_activity, self.busy_until) \
+                + self._spindown_policy.timeout()
+            if time >= deadline:
+                self.meter.advance(deadline)
+                done = self.transition(deadline, DiskState.STANDBY.value,
+                                       bucket="disk.spindown")
+                self.spindown_count += 1
+                self._quiet_since = done
+        if self.state == DiskState.STANDBY.value \
+                and self.spec.sleep_timeout is not None:
+            entered = max(self.busy_until, self.last_activity)
+            deadline = entered + self.spec.sleep_timeout
+            if time >= deadline:
+                self.meter.advance(deadline)
+                self.transition(deadline, DiskState.SLEEP.value,
+                                bucket="disk.to-sleep")
+                self.sleep_count += 1
+
+    def _note_quiet_period_end(self, spinup_time: float) -> None:
+        """Feed the quiet-period length back to the spin-down policy."""
+        if self._quiet_since is not None:
+            quiet = max(0.0, spinup_time - self._quiet_since)
+            self._spindown_policy.observe_quiet_period(
+                quiet, self.spec.breakeven_time)
+            self._quiet_since = None
+
+    def spindown_deadline(self) -> float | None:
+        """Absolute time the DPM will spin down, or None if not idle."""
+        if self.state != DiskState.IDLE.value:
+            return None
+        return max(self.last_activity, self.busy_until) \
+            + self._spindown_policy.timeout()
+
+    # ------------------------------------------------------------------
+    # request service
+    # ------------------------------------------------------------------
+    #: hops of at most this many 4 KB blocks count as short seeks.
+    NEAR_SEEK_BLOCKS = 64
+
+    def positioning_time(self, block: int | None) -> float:
+        """Head-positioning cost to reach ``block`` from the current head.
+
+        Distance-dependent, the standard concave seek model:
+
+        * contiguous with the previous transfer -> free (the §2.1
+          sequential-burst assumption);
+        * within :data:`NEAR_SEEK_BLOCKS` -> track-to-track time only
+          (streaming continues within the cylinder group, no rotational
+          re-sync) — this is what lets a near-sequential scan over many
+          small files finish "in a few seconds" (§3.3.1);
+        * otherwise ``t2t + k*sqrt(d/D) + rotation`` with ``k`` chosen
+          so a uniformly random hop averages the datasheet seek time
+          (E[sqrt(U)] = 2/3).
+
+        ``None`` (unknown location) charges the full average.
+        """
+        if block is None or self._head_position is None:
+            return self.spec.access_time
+        distance = abs(block - self._head_position)
+        if distance == 0:
+            return 0.0
+        if distance <= self.NEAR_SEEK_BLOCKS:
+            return self.spec.track_to_track_time
+        total_blocks = max(1, self.spec.capacity_bytes // 4096)
+        frac = min(1.0, distance / total_blocks)
+        k = (self.spec.avg_seek_time - self.spec.track_to_track_time) * 1.5
+        seek = self.spec.track_to_track_time + k * frac ** 0.5
+        return seek + self.spec.avg_rotation_time
+
+    def service(self, time: float, size_bytes: int, *,
+                block: int | None = None,
+                block_count: int | None = None) -> DiskServiceResult:
+        """Service a ``size_bytes`` request arriving at ``time``.
+
+        ``block``/``block_count`` locate the transfer on the platter (in
+        512-byte sectors or any consistent unit) purely for sequentiality
+        accounting; they do not scale the transfer time, which is
+        ``size_bytes / bandwidth``.
+        """
+        if size_bytes < 0:
+            raise ValueError("negative request size")
+        self.advance_to(time)
+        e0 = self.meter.total()
+        waited = self.busy_until > time and \
+            self.state == DiskState.STANDBY.value
+        start = max(time, self.busy_until)
+        self.meter.advance(start)
+        e_pre = self.meter.total()
+
+        spun_up = False
+        if self.state == DiskState.SLEEP.value:
+            self._note_quiet_period_end(start)
+            start = self.transition(start, DiskState.ACTIVE.value,
+                                    bucket="disk.wake")
+            self.spinup_count += 1
+            spun_up = True
+        elif self.state == DiskState.STANDBY.value:
+            self._note_quiet_period_end(start)
+            start = self.transition(start, DiskState.ACTIVE.value,
+                                    bucket="disk.spinup")
+            self.spinup_count += 1
+            spun_up = True
+        elif self.state == DiskState.IDLE.value:
+            self.transition(start, DiskState.ACTIVE.value)
+
+        position = self.positioning_time(block)
+        first_byte = start + position
+        transfer = seconds_to_transfer(size_bytes, self.spec.bandwidth_bps)
+        completion = first_byte + transfer
+        self.meter.set_power(start, self.spec.active_power, "disk.active")
+        self.meter.advance(completion)
+        # Request done: platters keep spinning (idle) until the DPM timer.
+        self.transition(completion, DiskState.IDLE.value)
+        self.note_activity(completion)
+        self.mark_busy_until(completion)
+        if block is not None:
+            self._head_position = block + (block_count or 0)
+        e1 = self.meter.total()
+        # Idle-wait before start belongs to the gap, not the request.
+        energy = e1 - e_pre if not waited else e1 - e0
+        return DiskServiceResult(
+            arrival=time, start=start, first_byte=first_byte,
+            completion=completion, energy=energy, spun_up=spun_up,
+            waited_for_spindown=waited)
+
+    def force_spinup(self, time: float) -> float:
+        """Spin the disk up without a transfer (BlueFS ghost hint).
+
+        Returns the time the disk reaches the idle (spinning) state; a
+        no-op if the disk is already spinning.
+        """
+        self.advance_to(time)
+        if self.state not in (DiskState.STANDBY.value,
+                              DiskState.SLEEP.value):
+            return time
+        self._note_quiet_period_end(time)
+        bucket = ("disk.wake" if self.state == DiskState.SLEEP.value
+                  else "disk.spinup")
+        ready = self.transition(time, DiskState.ACTIVE.value,
+                                bucket=bucket)
+        self.spinup_count += 1
+        self.transition(ready, DiskState.IDLE.value)
+        self.note_activity(ready)
+        return ready
+
+    # ------------------------------------------------------------------
+    # what-if estimation helpers (FlexFetch §2.2 / BlueFS cost model)
+    # ------------------------------------------------------------------
+    def estimate_service(self, size_bytes: int, *,
+                         sequential: bool = False,
+                         from_state: str | None = None) -> tuple[float, float]:
+        """Pure estimate ``(time, energy)`` of servicing a request.
+
+        Does not mutate the machine.  ``from_state`` defaults to the
+        current state; sequential requests skip the positioning charge.
+        """
+        state = from_state or self.state
+        t = 0.0
+        e = 0.0
+        if state == DiskState.SLEEP.value:
+            t += self.spec.wake_time
+            e += self.spec.wake_energy
+        elif state == DiskState.STANDBY.value:
+            t += self.spec.spinup_time
+            e += self.spec.spinup_energy
+        position = 0.0 if sequential else self.spec.access_time
+        transfer = seconds_to_transfer(size_bytes, self.spec.bandwidth_bps)
+        t += position + transfer
+        e += (position + transfer) * self.spec.active_power
+        return t, e
+
+    def keep_alive_power(self) -> float:
+        """Watts to hold the disk spinning but idle (opportunity cost)."""
+        return self.spec.idle_power

@@ -1,0 +1,105 @@
+"""Spin-down timeout policies for the disk's dynamic power management.
+
+The paper's experiments use a fixed 20 s timeout (the Linux laptop-mode
+default).  Its related-work section cites the two classic alternatives
+— a fixed threshold (Douglis/Krishnan/Marsh, USENIX '94) and a
+dynamically adapted one (Helmbold/Long/Sherrod, MobiCom '96) — so both
+are provided here as pluggable policies, and the adaptive one doubles
+as an ablation axis for how sensitive FlexFetch's wins are to the DPM
+underneath it.
+
+A policy answers one question — *how long may the disk idle before
+spinning down?* — and receives feedback after each spin-cycle: how long
+the quiet period actually was versus the break-even time, i.e. whether
+the spin-down paid off.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+
+class SpindownPolicy(ABC):
+    """Idle-timeout policy for timeout-driven disk DPM."""
+
+    @abstractmethod
+    def timeout(self) -> float:
+        """Current idle threshold in seconds (> 0)."""
+
+    def observe_quiet_period(self, quiet: float, breakeven: float) -> None:
+        """Feedback after a spin-up: the spin-down that preceded it left
+        the disk quiet for ``quiet`` seconds against a ``breakeven``
+        requirement.  Fixed policies ignore this."""
+
+    def clone(self) -> "SpindownPolicy":
+        """Copy for what-if simulation (stateful policies must not share
+        mutable state with their clones)."""
+        return self
+
+
+class FixedTimeout(SpindownPolicy):
+    """The paper's policy: a constant threshold (default 20 s)."""
+
+    def __init__(self, seconds: float = 20.0) -> None:
+        if seconds <= 0:
+            raise ValueError("timeout must be positive")
+        self._seconds = float(seconds)
+
+    def timeout(self) -> float:
+        return self._seconds
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FixedTimeout({self._seconds}s)"
+
+
+class AdaptiveTimeout(SpindownPolicy):
+    """Multiplicative-adjustment timeout (Helmbold et al. style).
+
+    After a *premature* spin-down (quiet period shorter than the
+    break-even time, so the cycle wasted energy) the threshold grows by
+    ``grow``; after a clearly profitable one (quiet period at least
+    ``profit_margin`` times break-even) it shrinks by ``shrink``.  The
+    threshold stays inside ``[floor, ceiling]``.
+    """
+
+    def __init__(self, initial: float = 20.0, *, floor: float = 2.0,
+                 ceiling: float = 120.0, grow: float = 2.0,
+                 shrink: float = 0.5, profit_margin: float = 4.0) -> None:
+        if not 0 < floor <= initial <= ceiling:
+            raise ValueError("need 0 < floor <= initial <= ceiling")
+        if grow <= 1.0 or not 0.0 < shrink < 1.0:
+            raise ValueError("need grow > 1 and 0 < shrink < 1")
+        if profit_margin < 1.0:
+            raise ValueError("profit margin must be >= 1")
+        self._timeout = float(initial)
+        self.floor = float(floor)
+        self.ceiling = float(ceiling)
+        self.grow = float(grow)
+        self.shrink = float(shrink)
+        self.profit_margin = float(profit_margin)
+        self.premature_count = 0
+        self.profitable_count = 0
+
+    def timeout(self) -> float:
+        return self._timeout
+
+    def observe_quiet_period(self, quiet: float, breakeven: float) -> None:
+        if quiet < breakeven:
+            self.premature_count += 1
+            self._timeout = min(self.ceiling, self._timeout * self.grow)
+        elif quiet >= breakeven * self.profit_margin:
+            self.profitable_count += 1
+            self._timeout = max(self.floor, self._timeout * self.shrink)
+
+    def clone(self) -> "AdaptiveTimeout":
+        new = AdaptiveTimeout(
+            initial=min(max(self._timeout, self.floor), self.ceiling),
+            floor=self.floor, ceiling=self.ceiling, grow=self.grow,
+            shrink=self.shrink, profit_margin=self.profit_margin)
+        new.premature_count = self.premature_count
+        new.profitable_count = self.profitable_count
+        return new
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"AdaptiveTimeout({self._timeout:.1f}s"
+                f" [{self.floor}, {self.ceiling}])")

@@ -1,0 +1,195 @@
+"""Generic timed power-state machine.
+
+Both device models share the same skeleton: a set of named states each
+drawing constant power, and transitions that take wall time and burn a
+lump of energy.  :class:`PowerStateMachine` owns that skeleton plus the
+energy meter and state timeline; :class:`~repro.devices.disk.HardDisk` and
+:class:`~repro.devices.wnic.WirelessNic` layer their DPM policies and
+service-time models on top.
+
+The machine is *pull-based*: callers advance it to an absolute time with
+:meth:`advance_to` (during which the owner's ``_apply_dpm`` hook may fire
+timeout transitions), then query or mutate state.  This matches how the
+replay simulator uses devices — they only need to be accurate at request
+boundaries — and it is also what lets FlexFetch clone a device cheaply for
+its online what-if estimation (§2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.metrics import EnergyMeter, StateTimeline
+
+
+@dataclass(frozen=True, slots=True)
+class StateSpec:
+    """A named power state drawing ``power`` watts while resident."""
+
+    name: str
+    power: float
+
+    def __post_init__(self) -> None:
+        if self.power < 0:
+            raise ValueError(f"state {self.name!r} has negative power")
+
+
+@dataclass(frozen=True, slots=True)
+class TransitionSpec:
+    """A legal transition taking ``time`` seconds and ``energy`` joules."""
+
+    src: str
+    dst: str
+    time: float
+    energy: float
+
+    def __post_init__(self) -> None:
+        if self.time < 0 or self.energy < 0:
+            raise ValueError(
+                f"transition {self.src}->{self.dst} has negative cost")
+
+
+class PowerStateMachine:
+    """Power/energy bookkeeping shared by the device models.
+
+    Subclass responsibilities:
+
+    * override :meth:`_apply_dpm` to fire timeout-driven transitions while
+      time advances (e.g. idle -> standby after 20 s);
+    * call :meth:`transition` for demand transitions (e.g. spin-up on a
+      request), and :meth:`set_busy_power` / :meth:`set_state_power` around
+      data transfers.
+    """
+
+    def __init__(self, name: str, states: list[StateSpec],
+                 transitions: list[TransitionSpec], initial_state: str,
+                 start_time: float = 0.0) -> None:
+        self.name = name
+        self._states = {s.name: s for s in states}
+        if len(self._states) != len(states):
+            raise ValueError("duplicate state names")
+        if initial_state not in self._states:
+            raise ValueError(f"unknown initial state {initial_state!r}")
+        self._transitions = {(t.src, t.dst): t for t in transitions}
+        for t in transitions:
+            if t.src not in self._states or t.dst not in self._states:
+                raise ValueError(
+                    f"transition {t.src}->{t.dst} references unknown state")
+        self._state = initial_state
+        self._last_activity = start_time
+        self.meter = EnergyMeter(start_time)
+        self.meter.set_power(start_time, self._states[initial_state].power,
+                             f"{name}.{initial_state}")
+        self.timeline = StateTimeline(initial_state, start_time)
+        #: time until which the device is committed (transition/transfer).
+        self._busy_until = start_time
+
+    # -- cloning for what-if estimation ---------------------------------
+    def clone(self) -> "PowerStateMachine":
+        """Cheap copy for offline what-if simulation (FlexFetch §2.2).
+
+        The clone carries the machine's *current* operating point
+        (state, power draw, DPM timers, head position) but a fresh
+        meter and timeline — estimation only ever reads energy deltas,
+        and copying the full history made cloning O(run length).
+        """
+        new = object.__new__(type(self))
+        for key, value in self.__dict__.items():
+            if key not in ("meter", "timeline"):
+                new.__dict__[key] = value
+        t = self.meter.last_time
+        new.meter = EnergyMeter(t)
+        new.meter.set_power(t, self.meter.power,
+                            f"{self.name}.{self._state}")
+        new.timeline = StateTimeline(self._state, t)
+        return new
+
+    # -- state accessors -------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def busy_until(self) -> float:
+        """Absolute time at which the current commitment ends."""
+        return self._busy_until
+
+    @property
+    def last_activity(self) -> float:
+        """Time of the most recent demand activity (for DPM timeouts)."""
+        return self._last_activity
+
+    def energy(self, upto: float | None = None) -> float:
+        """Total joules consumed, optionally extended to time ``upto``."""
+        return self.meter.total(upto)
+
+    def residency(self, end_time: float) -> dict[str, float]:
+        """Seconds per state from start to ``end_time``."""
+        return self.timeline.residency(end_time)
+
+    # -- time advancement -------------------------------------------------
+    def advance_to(self, time: float) -> None:
+        """Advance the machine to absolute ``time``, applying DPM timeouts.
+
+        Times earlier than the machine's committed horizon are legal —
+        a device can be busy past the simulation clock when requests
+        queue behind a transfer or a mode transition — and are clamped
+        (the machine never rewinds).
+        """
+        if time <= self.meter.last_time:
+            return
+        self._apply_dpm(time)
+        self.meter.advance(time)
+
+    def _apply_dpm(self, time: float) -> None:
+        """Hook: fire timeout transitions occurring in (last, time]."""
+
+    # -- transitions -------------------------------------------------------
+    def transition(self, time: float, dst: str, *,
+                   bucket: str | None = None) -> float:
+        """Perform the ``state -> dst`` transition starting at ``time``.
+
+        Energy cost is added as an impulse; the machine is busy (and in the
+        destination state's power draw) until ``time + transition.time``.
+        Returns the completion time.
+        """
+        spec = self._transitions.get((self._state, dst))
+        if spec is None:
+            raise ValueError(
+                f"{self.name}: illegal transition {self._state!r}->{dst!r}")
+        self.meter.advance(time)
+        label = bucket or f"{self.name}.{self._state}->{dst}"
+        self.meter.add_impulse(spec.energy, label)
+        done = time + spec.time
+        self._state = dst
+        # The datasheet impulse covers the whole switching window, so no
+        # supplemental draw is charged during [time, done); the
+        # destination state's power applies from completion.
+        self.meter.set_power(time, 0.0, label)
+        self.meter.advance(done)
+        self.meter.set_power(done, self._states[dst].power,
+                             f"{self.name}.{dst}")
+        self.timeline.record(time, dst)
+        self._busy_until = max(self._busy_until, done)
+        return done
+
+    def set_state_power(self, time: float, *, bucket: str | None = None) -> None:
+        """Re-assert the current state's nominal power draw at ``time``."""
+        self.meter.set_power(time, self._states[self._state].power,
+                             bucket or f"{self.name}.{self._state}")
+
+    def set_busy_power(self, time: float, watts: float, bucket: str) -> None:
+        """Draw ``watts`` from ``time`` on (e.g. transfer power)."""
+        self.meter.set_power(time, watts, bucket)
+
+    def note_activity(self, time: float) -> None:
+        """Record demand activity (resets DPM idle timers)."""
+        self._last_activity = max(self._last_activity, time)
+
+    def mark_busy_until(self, time: float) -> None:
+        """Extend the busy horizon (queueing of back-to-back requests)."""
+        self._busy_until = max(self._busy_until, time)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<{type(self).__name__} {self.name} state={self._state}"
+                f" E={self.energy():.2f}J>")

@@ -1,0 +1,219 @@
+"""Wireless NIC model (802.11b, Cisco Aironet 350 parameters).
+
+Implements the adaptive dynamic power management described in §3.1:
+
+* two modes — **CAM** (continuously aware, radio always on) and **PSM**
+  (power saving, radio mostly off with periodic access-point check-ins);
+* CAM -> PSM after 800 ms of idleness (0.41 s / 0.53 J);
+* PSM -> CAM when traffic is pending (0.40 s / 0.51 J) — the model
+  performs all bulk transfers in CAM, matching the card's behaviour of
+  waking up "if more than one packet is ready on the access point";
+* a transfer costs ``latency + size/bandwidth`` with direction-dependent
+  power (recv for reads from the remote server, send for writes).
+
+The *link* bandwidth and latency live on the spec and are what the
+paper's figures sweep; the mode machinery is independent of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.devices.power import PowerStateMachine, StateSpec, TransitionSpec
+from repro.devices.specs import AIRONET_350, WnicSpec
+from repro.sim.clock import seconds_to_transfer
+
+
+class WnicMode(str, Enum):
+    """WNIC power modes."""
+
+    CAM = "cam"
+    PSM = "psm"
+
+
+class Direction(str, Enum):
+    """Transfer direction relative to the mobile host."""
+
+    RECV = "recv"   # read from remote storage
+    SEND = "send"   # write back to remote storage
+
+
+@dataclass(frozen=True, slots=True)
+class WnicServiceResult:
+    """Outcome of one network request (see :class:`DiskServiceResult`)."""
+
+    arrival: float
+    start: float
+    first_byte: float
+    completion: float
+    energy: float
+    woke_up: bool
+
+
+class WirelessNic(PowerStateMachine):
+    """Adaptive-DPM 802.11b NIC.
+
+    Parameters
+    ----------
+    spec:
+        NIC parameters; defaults to the paper's Aironet 350 at 11 Mbps
+        with 1 ms link latency.  Use :meth:`WnicSpec.with_link` to sweep.
+    initially_psm:
+        Whether the card starts in power-saving mode (the experiments do).
+    """
+
+    def __init__(self, spec: WnicSpec = AIRONET_350,
+                 start_time: float = 0.0, *,
+                 initially_psm: bool = True) -> None:
+        self.spec = spec
+        initial = WnicMode.PSM if initially_psm else WnicMode.CAM
+        super().__init__(
+            name="wnic",
+            states=[
+                StateSpec(WnicMode.CAM.value, spec.cam_idle_power),
+                StateSpec(WnicMode.PSM.value, spec.psm_idle_power),
+            ],
+            transitions=[
+                TransitionSpec(WnicMode.CAM.value, WnicMode.PSM.value,
+                               spec.cam_to_psm_time, spec.cam_to_psm_energy),
+                TransitionSpec(WnicMode.PSM.value, WnicMode.CAM.value,
+                               spec.psm_to_cam_time, spec.psm_to_cam_energy),
+            ],
+            initial_state=initial.value,
+            start_time=start_time,
+        )
+        self.wakeup_count = 0
+        self.doze_count = 0
+
+    # ------------------------------------------------------------------
+    # DPM policy
+    # ------------------------------------------------------------------
+    def _apply_dpm(self, time: float) -> None:
+        """Drop to PSM if CAM-idle past the 800 ms timeout."""
+        if self.state != WnicMode.CAM.value:
+            return
+        deadline = max(self.last_activity, self.busy_until) \
+            + self.spec.cam_timeout
+        if time >= deadline:
+            self.meter.advance(deadline)
+            self.transition(deadline, WnicMode.PSM.value,
+                            bucket="wnic.doze")
+            self.doze_count += 1
+
+    # ------------------------------------------------------------------
+    # request service
+    # ------------------------------------------------------------------
+    def _psm_eligible(self, size_bytes: int) -> bool:
+        """Whether a request can be serviced without leaving PSM."""
+        return (self.spec.psm_transfer_enabled
+                and size_bytes <= self.spec.psm_transfer_max_bytes
+                and self.state == WnicMode.PSM.value)
+
+    def _service_in_psm(self, time: float, size_bytes: int,
+                        direction: Direction,
+                        e_pre: float) -> WnicServiceResult:
+        """Small-transfer fast path: stay in PSM (§1.1 characteristic 1).
+
+        The card exchanges data at its beacon wake-ups: first byte waits
+        for the next beacon (up to one ``beacon_interval``) plus the
+        link latency, and throughput is derated by
+        ``psm_bandwidth_factor``.
+        """
+        start = max(time, self.busy_until)
+        beacon_wait = self.spec.beacon_interval \
+            - (start % self.spec.beacon_interval)
+        first_byte = start + beacon_wait + self.spec.latency
+        bandwidth = self.spec.bandwidth_bps * self.spec.psm_bandwidth_factor
+        completion = first_byte + seconds_to_transfer(size_bytes, bandwidth)
+        busy_power = (self.spec.psm_recv_power
+                      if direction is Direction.RECV
+                      else self.spec.psm_send_power)
+        self.meter.advance(first_byte)
+        self.meter.set_power(first_byte, busy_power,
+                             f"wnic.psm-{direction.value}")
+        self.meter.advance(completion)
+        self.set_state_power(completion)
+        self.note_activity(completion)
+        self.mark_busy_until(completion)
+        return WnicServiceResult(
+            arrival=time, start=start, first_byte=first_byte,
+            completion=completion, energy=self.meter.total() - e_pre,
+            woke_up=False)
+
+    def service(self, time: float, size_bytes: int, *,
+                direction: Direction = Direction.RECV) -> WnicServiceResult:
+        """Transfer ``size_bytes`` over the link, arriving at ``time``."""
+        if size_bytes < 0:
+            raise ValueError("negative request size")
+        self.advance_to(time)
+        start = max(time, self.busy_until)
+        self.meter.advance(start)
+        e_pre = self.meter.total()
+
+        if self._psm_eligible(size_bytes):
+            return self._service_in_psm(time, size_bytes, direction, e_pre)
+
+        woke = False
+        if self.state == WnicMode.PSM.value:
+            start = self.transition(start, WnicMode.CAM.value,
+                                    bucket="wnic.wakeup")
+            self.wakeup_count += 1
+            woke = True
+
+        first_byte = start + self.spec.latency
+        transfer = seconds_to_transfer(size_bytes, self.spec.bandwidth_bps)
+        completion = first_byte + transfer
+        busy_power = (self.spec.cam_recv_power
+                      if direction is Direction.RECV
+                      else self.spec.cam_send_power)
+        # Latency portion is spent waiting in CAM idle; transfer at the
+        # direction-dependent power.
+        self.meter.set_power(start, self.spec.cam_idle_power, "wnic.cam")
+        self.meter.advance(first_byte)
+        self.meter.set_power(first_byte, busy_power,
+                             f"wnic.{direction.value}")
+        self.meter.advance(completion)
+        self.set_state_power(completion)
+        self.note_activity(completion)
+        self.mark_busy_until(completion)
+        e1 = self.meter.total()
+        return WnicServiceResult(
+            arrival=time, start=start, first_byte=first_byte,
+            completion=completion, energy=e1 - e_pre, woke_up=woke)
+
+    # ------------------------------------------------------------------
+    # what-if estimation helpers
+    # ------------------------------------------------------------------
+    def estimate_service(self, size_bytes: int, *,
+                         direction: Direction = Direction.RECV,
+                         from_state: str | None = None) -> tuple[float, float]:
+        """Pure estimate ``(time, energy)`` of a transfer; no mutation."""
+        state = from_state or self.state
+        if (self.spec.psm_transfer_enabled
+                and size_bytes <= self.spec.psm_transfer_max_bytes
+                and state == WnicMode.PSM.value):
+            # PSM fast path: expected half-beacon wait + derated rate.
+            bandwidth = self.spec.bandwidth_bps \
+                * self.spec.psm_bandwidth_factor
+            transfer = seconds_to_transfer(size_bytes, bandwidth)
+            busy_power = (self.spec.psm_recv_power
+                          if direction is Direction.RECV
+                          else self.spec.psm_send_power)
+            t = self.spec.beacon_interval / 2 + self.spec.latency + transfer
+            e = (self.spec.beacon_interval / 2 + self.spec.latency) \
+                * self.spec.psm_idle_power + transfer * busy_power
+            return t, e
+        t = 0.0
+        e = 0.0
+        if state == WnicMode.PSM.value:
+            t += self.spec.psm_to_cam_time
+            e += self.spec.psm_to_cam_energy
+        transfer = seconds_to_transfer(size_bytes, self.spec.bandwidth_bps)
+        busy_power = (self.spec.cam_recv_power
+                      if direction is Direction.RECV
+                      else self.spec.cam_send_power)
+        t += self.spec.latency + transfer
+        e += self.spec.latency * self.spec.cam_idle_power
+        e += transfer * busy_power
+        return t, e

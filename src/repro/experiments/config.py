@@ -1,0 +1,72 @@
+"""Experiment configuration and the paper's parameter sweeps.
+
+§3.3: "We vary the WNIC latency with a fixed 11 Mbps bandwidth and vary
+the WNIC bandwidth with a fixed 1 msec latency", where the bandwidths
+are the four 802.11b rates.  Latency figures in the paper's x-axes run
+from 0 to about 20 ms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.devices.specs import (
+    AIRONET_350,
+    HITACHI_DK23DA,
+    WNIC_RATES_BPS,
+    DiskSpec,
+    WnicSpec,
+)
+from repro.sim.clock import MB, MSEC
+
+#: WNIC latency sweep (seconds).  The paper's prose quotes latencies up
+#: to ~15 ms; we extend to 40 ms so every crossover the text describes
+#: (including WNIC-only overtaking Disk-only on grep+make, which in our
+#: synthetic traces happens ~35 ms) is visible inside the sweep.
+LATENCY_SWEEP: tuple[float, ...] = tuple(
+    ms * MSEC for ms in (0, 1, 3, 5, 7, 9, 12, 15, 20, 30, 40))
+
+#: WNIC bandwidth sweep (bytes/second): the 802.11b rates, ascending.
+BANDWIDTH_SWEEP_BPS: tuple[float, ...] = WNIC_RATES_BPS
+
+#: Fixed counterpart values for each sweep (§3.3).
+FIXED_BANDWIDTH_BPS: float = WNIC_RATES_BPS[-1]   # 11 Mbps
+FIXED_LATENCY: float = 1 * MSEC                    # 1 ms
+
+
+@dataclass(frozen=True, slots=True)
+class ExperimentConfig:
+    """Common settings for one experiment run.
+
+    ``seed`` drives both trace synthesis and layout placement, making
+    every number in the harness reproducible.
+    """
+
+    seed: int = 7
+    memory_bytes: int = 64 * MB
+    disk_spec: DiskSpec = field(default=HITACHI_DK23DA)
+    wnic_spec: WnicSpec = field(default=AIRONET_350)
+    loss_rate: float = 0.25
+    stage_length: float = 40.0
+    #: sweep grids; override for coarser/finer figures.
+    latency_sweep: tuple[float, ...] = LATENCY_SWEEP
+    bandwidth_sweep_bps: tuple[float, ...] = BANDWIDTH_SWEEP_BPS
+
+    def wnic_at(self, *, latency: float | None = None,
+                bandwidth_bps: float | None = None) -> WnicSpec:
+        """The WNIC spec at one sweep point."""
+        return self.wnic_spec.with_link(
+            latency=self.wnic_spec.latency if latency is None else latency,
+            bandwidth_bps=(self.wnic_spec.bandwidth_bps
+                           if bandwidth_bps is None else bandwidth_bps))
+
+    def latency_points(self) -> list[WnicSpec]:
+        """WNIC specs for the latency sweep (fixed 11 Mbps)."""
+        return [self.wnic_at(latency=lat,
+                             bandwidth_bps=FIXED_BANDWIDTH_BPS)
+                for lat in self.latency_sweep]
+
+    def bandwidth_points(self) -> list[WnicSpec]:
+        """WNIC specs for the bandwidth sweep (fixed 1 ms)."""
+        return [self.wnic_at(latency=FIXED_LATENCY, bandwidth_bps=bw)
+                for bw in self.bandwidth_sweep_bps]

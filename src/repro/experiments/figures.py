@@ -1,0 +1,207 @@
+"""Builders for the paper's Figures 1-5 (§3.3).
+
+Each figure has an (a) panel — total I/O energy vs WNIC latency at
+11 Mbps — and a (b) panel — energy vs WNIC bandwidth at 1 ms — for one
+workload and a set of policies:
+
+====== ===================== ==========================================
+figure workload              §3.3 scenario
+====== ===================== ==========================================
+1      grep + make           programming
+2      mplayer               media streaming
+3      thunderbird           email read-then-search
+4      grep+make ∥ xmms      forced disk spin-up (adds FlexFetch-static)
+5      acroread              invalid profile (profile run differs)
+====== ===================== ==========================================
+
+FlexFetch's profile is extracted from a *prior run* of the same
+workload — which for every figure but 5 is the same trace being
+replayed (a stable program, §1.2), and for Figure 5 is deliberately the
+casual-reading execution while the replay is the bursty search run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.bluefs import BlueFSPolicy
+from repro.core.flexfetch import FlexFetchConfig, FlexFetchPolicy
+from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
+from repro.core.profile import ExecutionProfile, profile_from_trace
+from repro.core.simulator import ProgramSpec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import PolicyFactory, SweepPoint, run_sweep
+from repro.traces.synth import (
+    generate_acroread_profile_run,
+    generate_acroread_search_run,
+    generate_grep_make,
+    generate_grep_make_xmms,
+    generate_mplayer,
+    generate_thunderbird,
+)
+from repro.traces.trace import Trace
+
+
+@dataclass
+class FigureResult:
+    """Both panels of one figure."""
+
+    figure_id: str
+    title: str
+    workload: str
+    #: panel (a): policy -> points over the latency sweep.
+    by_latency: dict[str, list[SweepPoint]] = field(default_factory=dict)
+    #: panel (b): policy -> points over the bandwidth sweep.
+    by_bandwidth: dict[str, list[SweepPoint]] = field(default_factory=dict)
+
+    def curve_energy(self, policy: str, *, panel: str = "latency"
+                     ) -> list[float]:
+        """Energy series of one policy in sweep order."""
+        curves = self.by_latency if panel == "latency" else self.by_bandwidth
+        return [p.energy for p in curves[policy]]
+
+
+def _flexfetch_factory(profile: ExecutionProfile,
+                       config: ExperimentConfig, *,
+                       adaptive: bool = True) -> PolicyFactory:
+    def make() -> FlexFetchPolicy:
+        return FlexFetchPolicy(profile, FlexFetchConfig(
+            loss_rate=config.loss_rate,
+            stage_length=config.stage_length,
+            adaptive=adaptive))
+    return make
+
+
+def _standard_policies(profile: ExecutionProfile,
+                       config: ExperimentConfig,
+                       *, include_static: bool = False
+                       ) -> dict[str, PolicyFactory]:
+    policies: dict[str, PolicyFactory] = {
+        "Disk-only": DiskOnlyPolicy,
+        "WNIC-only": WnicOnlyPolicy,
+        "BlueFS": BlueFSPolicy,
+    }
+    if include_static:
+        policies["FlexFetch-static"] = _flexfetch_factory(
+            profile, config, adaptive=False)
+    policies["FlexFetch"] = _flexfetch_factory(profile, config)
+    return policies
+
+
+def _run_figure(figure_id: str, title: str,
+                programs_factory: Callable[[], list[ProgramSpec]],
+                workload_name: str,
+                policies: dict[str, PolicyFactory],
+                config: ExperimentConfig,
+                *, panels: str = "ab",
+                progress: Callable[[str], None] | None = None
+                ) -> FigureResult:
+    result = FigureResult(figure_id=figure_id, title=title,
+                          workload=workload_name)
+    if "a" in panels:
+        result.by_latency = run_sweep(
+            programs_factory, policies, config.latency_points(), config,
+            progress=progress)
+    if "b" in panels:
+        result.by_bandwidth = run_sweep(
+            programs_factory, policies, config.bandwidth_points(), config,
+            progress=progress)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figure 1 — programming scenario: grep + make
+# ----------------------------------------------------------------------
+def figure1(config: ExperimentConfig | None = None, *, panels: str = "ab",
+            progress: Callable[[str], None] | None = None) -> FigureResult:
+    """grep+make energy vs WNIC latency (a) and bandwidth (b)."""
+    config = config or ExperimentConfig()
+    trace = generate_grep_make(config.seed)
+    profile = profile_from_trace(trace)
+    return _run_figure(
+        "fig1", "grep+make: energy vs WNIC latency/bandwidth",
+        lambda: [ProgramSpec(trace)], trace.name,
+        _standard_policies(profile, config), config,
+        panels=panels, progress=progress)
+
+
+# ----------------------------------------------------------------------
+# Figure 2 — media streaming: mplayer
+# ----------------------------------------------------------------------
+def figure2(config: ExperimentConfig | None = None, *, panels: str = "ab",
+            progress: Callable[[str], None] | None = None) -> FigureResult:
+    """mplayer energy vs WNIC latency (a) and bandwidth (b)."""
+    config = config or ExperimentConfig()
+    trace = generate_mplayer(config.seed)
+    profile = profile_from_trace(trace)
+    return _run_figure(
+        "fig2", "mplayer: energy vs WNIC latency/bandwidth",
+        lambda: [ProgramSpec(trace)], trace.name,
+        _standard_policies(profile, config), config,
+        panels=panels, progress=progress)
+
+
+# ----------------------------------------------------------------------
+# Figure 3 — email: thunderbird
+# ----------------------------------------------------------------------
+def figure3(config: ExperimentConfig | None = None, *, panels: str = "ab",
+            progress: Callable[[str], None] | None = None) -> FigureResult:
+    """Thunderbird energy vs WNIC latency (a) and bandwidth (b)."""
+    config = config or ExperimentConfig()
+    trace = generate_thunderbird(config.seed)
+    profile = profile_from_trace(trace)
+    return _run_figure(
+        "fig3", "Thunderbird: energy vs WNIC latency/bandwidth",
+        lambda: [ProgramSpec(trace)], trace.name,
+        _standard_policies(profile, config), config,
+        panels=panels, progress=progress)
+
+
+# ----------------------------------------------------------------------
+# Figure 4 — forced spin-up: grep+make with xmms in the background
+# ----------------------------------------------------------------------
+def figure4(config: ExperimentConfig | None = None, *, panels: str = "ab",
+            progress: Callable[[str], None] | None = None) -> FigureResult:
+    """grep+make ∥ xmms, including the FlexFetch-static ablation.
+
+    xmms is a *non-profiled* program whose mp3 files exist only on the
+    local disk, so its requests are disk-pinned and keep the disk spun
+    up — the §2.3.3 dynamic.
+    """
+    config = config or ExperimentConfig()
+    fg, bg = generate_grep_make_xmms(config.seed)
+    profile = profile_from_trace(fg)
+    return _run_figure(
+        "fig4", "grep+make / xmms: energy with a forced-spun-up disk",
+        lambda: [ProgramSpec(fg),
+                 ProgramSpec(bg, profiled=False, disk_pinned=True)],
+        f"{fg.name} | {bg.name}",
+        _standard_policies(profile, config, include_static=True), config,
+        panels=panels, progress=progress)
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — invalid profile: acroread
+# ----------------------------------------------------------------------
+def figure5(config: ExperimentConfig | None = None, *, panels: str = "ab",
+            progress: Callable[[str], None] | None = None) -> FigureResult:
+    """Acroread search run driven by the stale casual-reading profile."""
+    config = config or ExperimentConfig()
+    search = generate_acroread_search_run(config.seed)
+    stale = profile_from_trace(generate_acroread_profile_run(config.seed))
+    return _run_figure(
+        "fig5", "Acroread: energy with an out-of-date profile",
+        lambda: [ProgramSpec(search)], search.name,
+        _standard_policies(stale, config, include_static=True), config,
+        panels=panels, progress=progress)
+
+
+#: Registry used by the CLI and the benchmark harness.
+FIGURES: dict[str, Callable[..., FigureResult]] = {
+    "fig1": figure1,
+    "fig2": figure2,
+    "fig3": figure3,
+    "fig4": figure4,
+    "fig5": figure5,
+}

@@ -1,0 +1,81 @@
+"""Run matrices of (workload x policy x link point).
+
+The runner owns nothing scenario-specific: figures hand it the program
+specs and a *policy factory* per curve (policies are stateful, so every
+point needs a fresh instance), and it returns the energy/time rows the
+report layer renders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.policies import Policy
+from repro.core.simulator import ProgramSpec, ReplaySimulator, RunResult
+from repro.devices.specs import WnicSpec
+from repro.experiments.config import ExperimentConfig
+
+#: Builds a fresh policy instance for one run.
+PolicyFactory = Callable[[], Policy]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepPoint:
+    """One cell of a sweep: the link setting plus its run result."""
+
+    policy: str
+    latency: float
+    bandwidth_bps: float
+    result: RunResult
+
+    @property
+    def energy(self) -> float:
+        return self.result.total_energy
+
+    @property
+    def time(self) -> float:
+        return self.result.end_time
+
+
+def run_point(programs_factory: Callable[[], list[ProgramSpec]],
+              policy_factory: PolicyFactory,
+              wnic_spec: WnicSpec,
+              config: ExperimentConfig) -> SweepPoint:
+    """Run one policy on one workload at one link setting."""
+    policy = policy_factory()
+    sim = ReplaySimulator(
+        programs_factory(), policy,
+        disk_spec=config.disk_spec,
+        wnic_spec=wnic_spec,
+        memory_bytes=config.memory_bytes,
+        seed=config.seed)
+    result = sim.run()
+    return SweepPoint(policy=policy.name,
+                      latency=wnic_spec.latency,
+                      bandwidth_bps=wnic_spec.bandwidth_bps,
+                      result=result)
+
+
+def run_sweep(programs_factory: Callable[[], list[ProgramSpec]],
+              policy_factories: dict[str, PolicyFactory],
+              wnic_specs: Sequence[WnicSpec],
+              config: ExperimentConfig,
+              *, progress: Callable[[str], None] | None = None
+              ) -> dict[str, list[SweepPoint]]:
+    """Run every policy across every link point.
+
+    Returns ``{policy name: [SweepPoint, ...]}`` with points in sweep
+    order.  ``progress`` (if given) receives a line per completed point.
+    """
+    curves: dict[str, list[SweepPoint]] = {name: []
+                                           for name in policy_factories}
+    for spec in wnic_specs:
+        for name, factory in policy_factories.items():
+            point = run_point(programs_factory, factory, spec, config)
+            curves[name].append(point)
+            if progress is not None:
+                progress(f"{name} @ lat={spec.latency * 1e3:.0f}ms"
+                         f" bw={spec.bandwidth_bps * 8 / 1e6:.1f}Mbps"
+                         f" -> {point.energy:.1f} J")
+    return curves

@@ -1,0 +1,180 @@
+"""Dependency-free SVG line charts for the paper's figures.
+
+The harness deliberately avoids plotting libraries; this module writes
+plain SVG so `flexfetch figure figN --svg out/` (and the benchmark
+suite) can emit genuine charts of every panel — line per policy, legend,
+axes with round tick labels — viewable in any browser.
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Sequence
+
+from repro.experiments.figures import FigureResult
+from repro.experiments.runner import SweepPoint
+
+#: Color per policy, colorblind-safe-ish.
+_PALETTE = ("#4477aa", "#ee6677", "#228833", "#ccbb44", "#aa3377",
+            "#66ccee")
+
+_WIDTH, _HEIGHT = 640, 420
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 20, 40, 70
+
+
+def _ticks(lo: float, hi: float, n: int = 5) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / max(1, n)
+    mag = 10 ** int(len(str(int(raw))) - 1) if raw >= 1 else 10 ** -3
+    for step in (1, 2, 2.5, 5, 10):
+        if raw <= step * mag:
+            raw = step * mag
+            break
+    first = int(lo / raw) * raw
+    out = []
+    t = first
+    while t <= hi + raw * 0.5:
+        if t >= lo - raw * 0.5:
+            out.append(round(t, 6))
+        t += raw
+    return out
+
+
+def _fmt(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return f"{value:g}"
+
+
+class _Canvas:
+    def __init__(self) -> None:
+        self.parts: list[str] = []
+
+    def line(self, x1, y1, x2, y2, *, stroke="#999", width=1.0,
+             dash: str | None = None) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self.parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}"'
+            f' y2="{y2:.1f}" stroke="{stroke}"'
+            f' stroke-width="{width}"{dash_attr}/>')
+
+    def polyline(self, points: Sequence[tuple[float, float]], *,
+                 stroke: str) -> None:
+        path = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self.parts.append(
+            f'<polyline points="{path}" fill="none" stroke="{stroke}"'
+            f' stroke-width="2"/>')
+
+    def circle(self, x, y, *, fill: str, r: float = 3.0) -> None:
+        self.parts.append(
+            f'<circle cx="{x:.1f}" cy="{y:.1f}" r="{r}" fill="{fill}"/>')
+
+    def text(self, x, y, s, *, size=12, anchor="middle", fill="#222",
+             rotate: float | None = None) -> None:
+        transform = (f' transform="rotate({rotate} {x:.1f} {y:.1f})"'
+                     if rotate is not None else "")
+        self.parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}"'
+            f' font-family="sans-serif" text-anchor="{anchor}"'
+            f' fill="{fill}"{transform}>{html.escape(str(s))}</text>')
+
+    def render(self) -> str:
+        body = "\n".join(self.parts)
+        return (f'<svg xmlns="http://www.w3.org/2000/svg"'
+                f' width="{_WIDTH}" height="{_HEIGHT}"'
+                f' viewBox="0 0 {_WIDTH} {_HEIGHT}">\n'
+                f'<rect width="{_WIDTH}" height="{_HEIGHT}"'
+                f' fill="white"/>\n{body}\n</svg>\n')
+
+
+def render_panel_svg(curves: dict[str, list[SweepPoint]], *,
+                     title: str, x_axis: str) -> str:
+    """One panel as an SVG document.
+
+    ``x_axis`` is ``"latency"`` (plotted in ms) or ``"bandwidth"``
+    (plotted in Mbps).
+    """
+    if x_axis not in ("latency", "bandwidth"):
+        raise ValueError(f"unknown x axis {x_axis!r}")
+    if not curves:
+        raise ValueError("no curves to plot")
+
+    def x_of(p: SweepPoint) -> float:
+        return (p.latency * 1e3 if x_axis == "latency"
+                else p.bandwidth_bps * 8 / 1e6)
+
+    xs = sorted({x_of(p) for pts in curves.values() for p in pts})
+    ys = [p.energy for pts in curves.values() for p in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = 0.0, max(ys) * 1.08
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def sx(x: float) -> float:
+        span = (x_hi - x_lo) or 1.0
+        return _MARGIN_L + (x - x_lo) / span * plot_w
+
+    def sy(y: float) -> float:
+        span = (y_hi - y_lo) or 1.0
+        return _MARGIN_T + plot_h - (y - y_lo) / span * plot_h
+
+    c = _Canvas()
+    c.text(_WIDTH / 2, _MARGIN_T - 18, title, size=14)
+    # axes + grid
+    for t in _ticks(y_lo, y_hi):
+        c.line(_MARGIN_L, sy(t), _WIDTH - _MARGIN_R, sy(t),
+               stroke="#e5e5e5")
+        c.text(_MARGIN_L - 8, sy(t) + 4, _fmt(t), size=10, anchor="end")
+    for t in _ticks(x_lo, x_hi):
+        c.text(sx(t), _HEIGHT - _MARGIN_B + 18, _fmt(t), size=10)
+        c.line(sx(t), _HEIGHT - _MARGIN_B,
+               sx(t), _HEIGHT - _MARGIN_B + 4, stroke="#222")
+    c.line(_MARGIN_L, _MARGIN_T, _MARGIN_L, _HEIGHT - _MARGIN_B,
+           stroke="#222")
+    c.line(_MARGIN_L, _HEIGHT - _MARGIN_B, _WIDTH - _MARGIN_R,
+           _HEIGHT - _MARGIN_B, stroke="#222")
+    x_label = ("WNIC latency (ms)" if x_axis == "latency"
+               else "WNIC bandwidth (Mbps)")
+    c.text(_MARGIN_L + plot_w / 2, _HEIGHT - _MARGIN_B + 40, x_label,
+           size=12)
+    c.text(18, _MARGIN_T + plot_h / 2, "energy (J)", size=12,
+           rotate=-90.0)
+
+    # curves + legend
+    legend_y = _HEIGHT - 16
+    legend_x = _MARGIN_L
+    for i, (policy, points) in enumerate(curves.items()):
+        color = _PALETTE[i % len(_PALETTE)]
+        coords = [(sx(x_of(p)), sy(p.energy)) for p in points]
+        c.polyline(coords, stroke=color)
+        for x, y in coords:
+            c.circle(x, y, fill=color)
+        c.line(legend_x, legend_y - 4, legend_x + 18, legend_y - 4,
+               stroke=color, width=3)
+        c.text(legend_x + 24, legend_y, policy, size=11, anchor="start")
+        legend_x += 28 + 7 * len(policy) + 16
+    return c.render()
+
+
+def save_figure_svg(figure: FigureResult, directory: str | Path
+                    ) -> list[Path]:
+    """Write one SVG per panel; returns the created paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    panels = []
+    if figure.by_latency:
+        panels.append(("a", "latency", figure.by_latency))
+    if figure.by_bandwidth:
+        panels.append(("b", "bandwidth", figure.by_bandwidth))
+    for suffix, x_axis, curves in panels:
+        path = directory / f"{figure.figure_id}{suffix}.svg"
+        path.write_text(render_panel_svg(
+            curves, title=f"{figure.figure_id}({suffix}) —"
+            f" {figure.workload}", x_axis=x_axis),
+            encoding="utf-8")
+        written.append(path)
+    return written

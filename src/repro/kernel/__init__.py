@@ -1,0 +1,40 @@
+"""Simulated Linux I/O path.
+
+The paper's simulator "emulates the policies used for Linux buffer cache
+management, including the 2Q-like page replacement algorithm, the
+two-window readahead policy that prefetches up to 32 pages, the C-SCAN
+I/O request scheduling mechanism, and the asynchronous write-back scheme"
+plus laptop mode (§3.1).  Each of those policies is one module here:
+
+* :mod:`repro.kernel.page` — page/extent algebra shared by all of them,
+* :mod:`repro.kernel.cache` — the 2Q-like page cache,
+* :mod:`repro.kernel.readahead` — two-window readahead (<= 32 pages),
+* :mod:`repro.kernel.scheduler` — C-SCAN ordering of disk extents,
+* :mod:`repro.kernel.writeback` — async write-back + laptop mode,
+* :mod:`repro.kernel.vfs` — the read/write system-call service path that
+  composes them and emits device-agnostic fetch extents.
+"""
+
+from repro.kernel.cache import CacheStats, TwoQCache
+from repro.kernel.page import PAGE_SIZE, Extent, PageId, pages_of_range
+from repro.kernel.readahead import ReadaheadState, TwoWindowReadahead
+from repro.kernel.scheduler import CScanScheduler, DiskExtent
+from repro.kernel.vfs import FetchPlan, VirtualFileSystem
+from repro.kernel.writeback import LaptopModeWriteback, WritebackConfig
+
+__all__ = [
+    "CacheStats",
+    "TwoQCache",
+    "PAGE_SIZE",
+    "Extent",
+    "PageId",
+    "pages_of_range",
+    "ReadaheadState",
+    "TwoWindowReadahead",
+    "CScanScheduler",
+    "DiskExtent",
+    "FetchPlan",
+    "VirtualFileSystem",
+    "LaptopModeWriteback",
+    "WritebackConfig",
+]

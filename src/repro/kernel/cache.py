@@ -1,0 +1,224 @@
+"""2Q-like page cache.
+
+The paper's simulator emulates "the 2Q-like page replacement algorithm"
+of the Linux buffer cache.  This module implements the classic simplified
+2Q of Johnson & Shasha (VLDB '94), which is the scheme Linux's
+active/inactive lists approximate:
+
+* **A1in** — a FIFO of pages seen once, sized ``Kin`` (default 25 % of
+  capacity).  First-touch pages go here, so a single scan (grep over a
+  source tree) cannot wipe out the hot set.
+* **A1out** — a ghost FIFO of page *identities* recently evicted from
+  A1in, sized ``Kout`` (default 50 % of capacity, identities only — it
+  holds no data).
+* **Am** — an LRU of pages re-referenced while in A1out; this is the
+  protected hot set.
+
+Dirty state is tracked per page; evicting a dirty page surfaces it to the
+caller so the write-back layer can schedule the flush.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.kernel.page import Extent, PageId
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters."""
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    ghost_promotions: int = 0
+    dirty_evictions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class _PageMeta:
+    dirty: bool = False
+    dirtied_at: float = field(default=0.0)
+    #: Linux's PG_referenced: set on the first A1in touch, promotion to
+    #: Am happens on the second.  Keeps one-touch prefetched pages (and
+    #: whole sequential scans) out of the protected set.
+    referenced: bool = False
+
+
+class TwoQCache:
+    """Simplified 2Q replacement over :class:`PageId` keys.
+
+    Parameters
+    ----------
+    capacity_pages:
+        Total resident pages (A1in + Am).
+    kin_fraction / kout_fraction:
+        Sizing of A1in and the A1out ghost list relative to capacity,
+        defaulting to the 2Q paper's recommended 25 % / 50 %.
+    """
+
+    def __init__(self, capacity_pages: int, *, kin_fraction: float = 0.25,
+                 kout_fraction: float = 0.50) -> None:
+        if capacity_pages <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0.0 < kin_fraction < 1.0:
+            raise ValueError("kin_fraction must be in (0, 1)")
+        if kout_fraction <= 0.0:
+            raise ValueError("kout_fraction must be positive")
+        self.capacity = int(capacity_pages)
+        self.kin = max(1, int(self.capacity * kin_fraction))
+        self.kout = max(1, int(self.capacity * kout_fraction))
+        self._a1in: OrderedDict[PageId, _PageMeta] = OrderedDict()
+        self._a1out: OrderedDict[PageId, None] = OrderedDict()
+        self._am: OrderedDict[PageId, _PageMeta] = OrderedDict()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, page: PageId) -> bool:
+        return page in self._a1in or page in self._am
+
+    def __len__(self) -> int:
+        return len(self._a1in) + len(self._am)
+
+    def resident_fraction(self, extent: Extent) -> float:
+        """Fraction of an extent's pages currently resident."""
+        hits = sum(1 for p in extent.pages() if p in self)
+        return hits / extent.npages
+
+    def is_dirty(self, page: PageId) -> bool:
+        """Whether a resident page is dirty (False if absent)."""
+        meta = self._a1in.get(page) or self._am.get(page)
+        return bool(meta and meta.dirty)
+
+    def dirty_pages(self) -> list[PageId]:
+        """All resident dirty pages, oldest dirtied first."""
+        pages = [(m.dirtied_at, p)
+                 for q in (self._a1in, self._am)
+                 for p, m in q.items() if m.dirty]
+        return [p for _, p in sorted(pages)]
+
+    # ------------------------------------------------------------------
+    # access path
+    # ------------------------------------------------------------------
+    def access(self, page: PageId) -> bool:
+        """Record a reference.  Returns True on hit, False on miss.
+
+        A miss does *not* insert the page — the caller fetches it from a
+        device and then calls :meth:`insert`.  This split is what lets
+        the VFS batch misses into readahead-sized device extents.
+        """
+        if page in self._am:
+            self._am.move_to_end(page)
+            self.stats.hits += 1
+            return True
+        if page in self._a1in:
+            # Linux's two-touch promotion: the first A1in reference
+            # sets PG_referenced, the second moves the page to the
+            # active set.  (Classic 2Q never promotes from A1in, which
+            # lets a scan flush a hot set that was re-read before ever
+            # being evicted; one-touch promotion would instead let
+            # every prefetched-then-read scan page flood Am.)
+            meta = self._a1in[page]
+            if meta.referenced:
+                self._a1in.pop(page)
+                self._am[page] = meta
+            else:
+                meta.referenced = True
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def insert(self, page: PageId, *, dirty: bool = False,
+               now: float = 0.0) -> list[PageId]:
+        """Install a fetched/written page; returns evicted dirty pages.
+
+        Pages whose identity is still in the A1out ghost list go straight
+        to Am (they have proven re-reference value); new pages enter A1in.
+        Clean evictions vanish silently; dirty ones are returned so the
+        write-back layer can flush them.
+        """
+        flushed: list[PageId] = []
+        meta = _PageMeta(dirty=dirty, dirtied_at=now if dirty else 0.0)
+        if page in self._am:
+            self._am.move_to_end(page)
+            if dirty:
+                self._am[page].dirty = True
+                self._am[page].dirtied_at = now
+            return flushed
+        if page in self._a1in:
+            if dirty:
+                self._a1in[page].dirty = True
+                self._a1in[page].dirtied_at = now
+            return flushed
+        if page in self._a1out:
+            del self._a1out[page]
+            self._am[page] = meta
+            self.stats.ghost_promotions += 1
+        else:
+            self._a1in[page] = meta
+        self.stats.insertions += 1
+        flushed.extend(self._reclaim())
+        return flushed
+
+    def mark_dirty(self, page: PageId, now: float) -> bool:
+        """Mark a resident page dirty; returns False if not resident."""
+        meta = self._a1in.get(page) or self._am.get(page)
+        if meta is None:
+            return False
+        if not meta.dirty:
+            meta.dirty = True
+            meta.dirtied_at = now
+        return True
+
+    def clean(self, page: PageId) -> None:
+        """Clear the dirty bit after a successful write-back."""
+        meta = self._a1in.get(page) or self._am.get(page)
+        if meta is not None:
+            meta.dirty = False
+
+    def drop(self, page: PageId) -> None:
+        """Invalidate a page (used by tests and failure injection)."""
+        self._a1in.pop(page, None)
+        self._am.pop(page, None)
+        self._a1out.pop(page, None)
+
+    # ------------------------------------------------------------------
+    # replacement
+    # ------------------------------------------------------------------
+    def _reclaim(self) -> list[PageId]:
+        """Evict until within capacity; returns evicted *dirty* pages."""
+        flushed: list[PageId] = []
+        while len(self) > self.capacity:
+            if len(self._a1in) > self.kin or not self._am:
+                page, meta = self._a1in.popitem(last=False)
+                self._a1out[page] = None
+                while len(self._a1out) > self.kout:
+                    self._a1out.popitem(last=False)
+            else:
+                page, meta = self._am.popitem(last=False)
+            self.stats.evictions += 1
+            if meta.dirty:
+                self.stats.dirty_evictions += 1
+                flushed.append(page)
+        return flushed
+
+    # ------------------------------------------------------------------
+    # introspection for tests
+    # ------------------------------------------------------------------
+    def queue_sizes(self) -> tuple[int, int, int]:
+        """``(len(A1in), len(A1out), len(Am))``."""
+        return len(self._a1in), len(self._a1out), len(self._am)

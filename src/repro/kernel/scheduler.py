@@ -1,0 +1,110 @@
+"""C-SCAN I/O request scheduling.
+
+The paper's simulator emulates "the C-SCAN I/O request scheduling
+mechanism": pending disk requests are serviced in ascending block order
+from the current head position to the end of the sweep, then the head
+jumps back and sweeps up again.  Within the replay simulator this governs
+the order a *batch* of miss extents (one I/O burst, possibly from several
+files) hits the platter, which in turn decides how many of them are
+sequential with their predecessor and dodge the seek + rotation charge.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.kernel.page import Extent
+
+
+@dataclass(frozen=True, slots=True)
+class DiskExtent:
+    """A device-level request: file extent + absolute disk placement."""
+
+    extent: Extent
+    start_block: int
+
+    def __post_init__(self) -> None:
+        if self.start_block < 0:
+            raise ValueError("negative block address")
+
+    @property
+    def nblocks(self) -> int:
+        return self.extent.npages
+
+    @property
+    def end_block(self) -> int:
+        return self.start_block + self.nblocks
+
+
+class CScanScheduler:
+    """Circular-SCAN elevator over block addresses.
+
+    Requests are queued with :meth:`add`; :meth:`drain` yields them in
+    C-SCAN order starting from the current head position: ascending
+    blocks >= head first, then wrap to the lowest queued block and ascend
+    again.  The head position updates as requests are yielded.
+    """
+
+    def __init__(self, head_block: int = 0) -> None:
+        if head_block < 0:
+            raise ValueError("negative head position")
+        self._head = head_block
+        self._counter = itertools.count()
+        self._queue: list[tuple[int, int, DiskExtent]] = []
+
+    @property
+    def head_block(self) -> int:
+        """Current sweep position (start block of the last dispatch).
+
+        This is the *selection* head: the next request chosen is the
+        lowest-addressed one at or above it, so several requests for the
+        same block dispatch back-to-back within one sweep.  Physical
+        head position for seek costing is the disk model's concern.
+        """
+        return self._head
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def add(self, request: DiskExtent) -> None:
+        """Queue one request."""
+        heapq.heappush(self._queue,
+                       (request.start_block, next(self._counter), request))
+
+    def add_all(self, requests: Iterable[DiskExtent]) -> None:
+        """Queue several requests."""
+        for r in requests:
+            self.add(r)
+
+    def drain(self) -> Iterator[DiskExtent]:
+        """Yield all queued requests in C-SCAN order, updating the head.
+
+        New requests added *while draining* join the current sweep if
+        they are still ahead of the head, otherwise the next one — the
+        standard elevator guarantee against starvation.
+        """
+        while self._queue:
+            ahead = [entry for entry in self._queue
+                     if entry[0] >= self._head]
+            if not ahead:
+                # End of sweep: jump home and ascend again (the "C").
+                self._head = 0
+                continue
+            pick = min(ahead)
+            self._queue.remove(pick)
+            heapq.heapify(self._queue)
+            request = pick[2]
+            self._head = request.start_block
+            yield request
+
+    def order(self, requests: Iterable[DiskExtent]) -> list[DiskExtent]:
+        """Convenience: C-SCAN-order a batch without persisting state.
+
+        Used by the replay simulator to sequence one burst's misses; the
+        head position advances across calls.
+        """
+        self.add_all(requests)
+        return list(self.drain())

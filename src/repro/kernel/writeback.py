@@ -1,0 +1,121 @@
+"""Asynchronous write-back and Linux laptop mode.
+
+The paper's simulator models "the asynchronous write-back scheme" and
+"the policies adopted in the Linux laptop mode, such as eager writing
+back dirty blocks to active disks and delaying write-back to disks in the
+standby mode" (§3.1).  Concretely:
+
+* writes dirty pages in the cache and return immediately;
+* dirty pages older than ``max_age`` (default 30 s, the laptop-mode
+  ``dirty_expire``) must be flushed even if that spins the disk up;
+* whenever the disk is active for other reasons, *all* dirty pages are
+  flushed eagerly ("piggy-backing") so the disk can spin down sooner and
+  stay down longer.
+
+The manager does not talk to a device itself; it decides *what to flush
+when*, and the replay simulator issues the resulting extents to the disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.cache import TwoQCache
+from repro.kernel.page import Extent, runs_from_pages
+
+
+@dataclass(frozen=True, slots=True)
+class WritebackConfig:
+    """Write-back policy knobs.
+
+    Attributes
+    ----------
+    max_age:
+        Seconds a page may stay dirty before a forced flush (laptop-mode
+        ``dirty_expire_centisecs`` default is 30 s).
+    eager_on_active:
+        Flush everything whenever the disk is already active/idle
+        (laptop mode's signature behaviour).
+    dirty_limit_pages:
+        Safety valve: exceeding this many dirty pages forces a flush
+        regardless of disk state.
+    """
+
+    max_age: float = 30.0
+    eager_on_active: bool = True
+    dirty_limit_pages: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_age <= 0:
+            raise ValueError("max_age must be positive")
+        if self.dirty_limit_pages <= 0:
+            raise ValueError("dirty_limit_pages must be positive")
+
+
+class LaptopModeWriteback:
+    """Decides which dirty pages to flush at each opportunity."""
+
+    def __init__(self, cache: TwoQCache,
+                 config: WritebackConfig | None = None) -> None:
+        self.cache = cache
+        self.config = config or WritebackConfig()
+        self.flush_count = 0
+        self.flushed_pages = 0
+        self._dirty_times: dict[tuple[int, int], float] = {}
+
+    # ------------------------------------------------------------------
+    def note_dirty(self, page, now: float) -> None:
+        """Record a page becoming dirty at ``now``."""
+        self._dirty_times.setdefault(tuple(page), now)
+
+    def note_clean(self, page) -> None:
+        """Record a page flushed (by us or by eviction)."""
+        self._dirty_times.pop(tuple(page), None)
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty_times)
+
+    def oldest_dirty_age(self, now: float) -> float:
+        """Age of the oldest dirty page (0 if none)."""
+        if not self._dirty_times:
+            return 0.0
+        return now - min(self._dirty_times.values())
+
+    # ------------------------------------------------------------------
+    def next_forced_flush(self) -> float | None:
+        """Absolute time the oldest dirty page expires, or None."""
+        if not self._dirty_times:
+            return None
+        return min(self._dirty_times.values()) + self.config.max_age
+
+    def plan_flush(self, now: float, *, disk_active: bool) -> list[Extent]:
+        """Extents to flush at ``now``; empty list means nothing due.
+
+        Eager when the disk is active (laptop mode), otherwise only when
+        a page exceeded ``max_age`` or the dirty limit tripped — and then
+        *everything* goes, to buy the longest possible quiet period.
+        """
+        if not self._dirty_times:
+            return []
+        due = (disk_active and self.config.eager_on_active) \
+            or self.oldest_dirty_age(now) >= self.config.max_age \
+            or self.dirty_count >= self.config.dirty_limit_pages
+        if not due:
+            return []
+        pages = [p for p in self.cache.dirty_pages()
+                 if tuple(p) in self._dirty_times]
+        # Pages already evicted-with-flush are gone from the cache but
+        # may linger in our table; drop them.
+        stale = set(self._dirty_times) - {tuple(p) for p in pages}
+        for key in stale:
+            self._dirty_times.pop(key, None)
+        if not pages:
+            return []
+        extents = runs_from_pages(pages)
+        for p in pages:
+            self.cache.clean(p)
+            self.note_clean(p)
+        self.flush_count += 1
+        self.flushed_pages += sum(e.npages for e in extents)
+        return extents

@@ -1,0 +1,51 @@
+"""Discrete-event simulation substrate.
+
+This subpackage provides the timing, event-loop, randomness, and
+energy-accounting primitives every other layer of the reproduction is
+built on:
+
+* :mod:`repro.sim.clock` — simulation-time helpers and unit conversions.
+* :mod:`repro.sim.events` — the :class:`~repro.sim.events.Event` record and
+  its deterministic ordering.
+* :mod:`repro.sim.engine` — a heap-based event loop
+  (:class:`~repro.sim.engine.EventLoop`) with process-style helpers.
+* :mod:`repro.sim.rng` — reproducible per-component random streams.
+* :mod:`repro.sim.metrics` — continuous energy integration
+  (:class:`~repro.sim.metrics.EnergyMeter`) and state timelines.
+
+All times are float seconds; all energies are joules; all powers are watts.
+"""
+
+from repro.sim.clock import (
+    KB,
+    MB,
+    GB,
+    MSEC,
+    USEC,
+    Mbps,
+    bytes_per_second,
+    seconds_to_transfer,
+)
+from repro.sim.engine import EventLoop, SimulationError
+from repro.sim.events import Event
+from repro.sim.metrics import EnergyMeter, StateTimeline, TimeWeightedStat
+from repro.sim.rng import child_seed, make_rng
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "MSEC",
+    "USEC",
+    "Mbps",
+    "bytes_per_second",
+    "seconds_to_transfer",
+    "Event",
+    "EventLoop",
+    "SimulationError",
+    "EnergyMeter",
+    "StateTimeline",
+    "TimeWeightedStat",
+    "child_seed",
+    "make_rng",
+]

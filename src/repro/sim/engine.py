@@ -1,0 +1,156 @@
+"""A minimal, deterministic discrete-event loop.
+
+The replay simulator (`repro.core.simulator`) interleaves several
+closed-loop programs (each alternating *think* and *I/O*), device power
+timers (disk spin-down, WNIC CAM->PSM), and kernel write-back timers.  All
+of that multiplexing is expressed as events on one :class:`EventLoop`.
+
+The loop is intentionally small: a binary heap of :class:`Event` records, a
+monotonic clock, and a couple of safety rails (no scheduling into the past,
+an event-count circuit breaker for runaway feedback loops).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterable
+
+from repro.sim.clock import TIME_EPSILON
+from repro.sim.events import PRIORITY_NORMAL, Event
+
+
+class SimulationError(RuntimeError):
+    """Raised on invalid scheduling or a runaway simulation."""
+
+
+class EventLoop:
+    """Deterministic heap-based event loop.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulated clock.
+    max_events:
+        Circuit breaker: processing more events than this raises
+        :class:`SimulationError` instead of spinning forever.
+    """
+
+    def __init__(self, start_time: float = 0.0,
+                 max_events: int = 50_000_000) -> None:
+        self._now = float(start_time)
+        self._heap: list[Event] = []
+        self._max_events = int(max_events)
+        self._processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Number of events fired so far (for diagnostics)."""
+        return self._processed
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(self, time: float, callback: Callable[[], None], *,
+                    priority: int = PRIORITY_NORMAL,
+                    label: str = "") -> Event:
+        """Schedule ``callback`` at absolute time ``time``.
+
+        Scheduling earlier than ``now`` (beyond float jitter) is an error;
+        a timestamp within ``TIME_EPSILON`` of now is clamped to now.
+        """
+        if time < self._now - TIME_EPSILON:
+            raise SimulationError(
+                f"cannot schedule into the past: t={time!r} < now={self._now!r}")
+        event = Event(time=max(time, self._now), priority=priority,
+                      callback=callback, label=label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_after(self, delay: float, callback: Callable[[], None], *,
+                       priority: int = PRIORITY_NORMAL,
+                       label: str = "") -> Event:
+        """Schedule ``callback`` ``delay`` seconds from now (delay >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        return self.schedule_at(self._now + delay, callback,
+                                priority=priority, label=label)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False when none remain."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._processed += 1
+            if self._processed > self._max_events:
+                raise SimulationError(
+                    f"event budget exhausted after {self._max_events} events"
+                    f" (likely a feedback loop); last label={event.label!r}")
+            self._now = event.time
+            event.callback()
+            return True
+        return False
+
+    def run(self) -> float:
+        """Run until the heap drains.  Returns the final clock value."""
+        if self._running:
+            raise SimulationError("event loop is not re-entrant")
+        self._running = True
+        try:
+            while self.step():
+                pass
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until(self, deadline: float) -> float:
+        """Run events with ``time <= deadline``; advance clock to deadline.
+
+        Events scheduled beyond the deadline stay pending.  Returns the
+        final clock value (== ``deadline`` unless it was in the past).
+        """
+        if self._running:
+            raise SimulationError("event loop is not re-entrant")
+        self._running = True
+        try:
+            while self._heap:
+                head = self._heap[0]
+                if head.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if head.time > deadline + TIME_EPSILON:
+                    break
+                self.step()
+        finally:
+            self._running = False
+        if deadline > self._now:
+            self._now = deadline
+        return self._now
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def pending(self) -> Iterable[Event]:
+        """Yield live (non-cancelled) pending events, unordered."""
+        return (e for e in self._heap if not e.cancelled)
+
+    def pending_count(self) -> int:
+        """Number of live pending events."""
+        return sum(1 for _ in self.pending())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<EventLoop now={self._now:.6f}"
+                f" pending={self.pending_count()}"
+                f" processed={self._processed}>")

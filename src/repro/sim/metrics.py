@@ -1,0 +1,157 @@
+"""Energy and state-residency accounting.
+
+Devices report *which state they are in*; these meters turn that into
+joules and per-state residency seconds by integrating power over time.
+Transition costs (spin-up energy, mode-switch energy) are added as
+impulses via :meth:`EnergyMeter.add_impulse` so the per-cause breakdown in
+the experiment reports stays exact.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class StateTimeline:
+    """Append-only record of ``(time, state)`` changes.
+
+    Useful for debugging policies (e.g. verifying the disk really stayed
+    spun down through a make compile gap) and for residency assertions in
+    tests.  Consecutive duplicate states are coalesced.
+    """
+
+    def __init__(self, initial_state: str, start_time: float = 0.0) -> None:
+        self._times: list[float] = [start_time]
+        self._states: list[str] = [initial_state]
+
+    def record(self, time: float, state: str) -> None:
+        """Record that the state became ``state`` at ``time``."""
+        if time < self._times[-1] - 1e-9:
+            raise ValueError(
+                f"timeline must be monotonic: {time} < {self._times[-1]}")
+        if state == self._states[-1]:
+            return
+        self._times.append(max(time, self._times[-1]))
+        self._states.append(state)
+
+    @property
+    def current_state(self) -> str:
+        return self._states[-1]
+
+    def segments(self, end_time: float) -> Iterator[tuple[float, float, str]]:
+        """Yield ``(start, end, state)`` segments up to ``end_time``."""
+        for i, (t, s) in enumerate(zip(self._times, self._states)):
+            t_next = self._times[i + 1] if i + 1 < len(self._times) else end_time
+            if t_next > t:
+                yield (t, min(t_next, end_time), s)
+            if t_next >= end_time:
+                break
+
+    def residency(self, end_time: float) -> dict[str, float]:
+        """Seconds spent in each state from start to ``end_time``."""
+        out: dict[str, float] = defaultdict(float)
+        for start, end, state in self.segments(end_time):
+            out[state] += end - start
+        return dict(out)
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+
+@dataclass
+class TimeWeightedStat:
+    """Running time-weighted mean of a piecewise-constant signal."""
+
+    last_time: float = 0.0
+    last_value: float = 0.0
+    weighted_sum: float = 0.0
+    total_time: float = 0.0
+
+    def update(self, time: float, value: float) -> None:
+        """Signal changed to ``value`` at ``time``."""
+        if time < self.last_time:
+            raise ValueError(f"time went backwards: {time} < {self.last_time}")
+        dt = time - self.last_time
+        self.weighted_sum += self.last_value * dt
+        self.total_time += dt
+        self.last_time = time
+        self.last_value = value
+
+    def mean(self, now: float | None = None) -> float:
+        """Time-weighted mean, optionally extending the last value to ``now``."""
+        ws, tt = self.weighted_sum, self.total_time
+        if now is not None and now > self.last_time:
+            ws += self.last_value * (now - self.last_time)
+            tt += now - self.last_time
+        return ws / tt if tt > 0 else 0.0
+
+
+class EnergyMeter:
+    """Integrates a device's power draw into joules.
+
+    The meter holds the *current power* (watts).  ``advance(t)`` integrates
+    the current power over ``[last_t, t]``; ``set_power`` changes the draw
+    going forward; ``add_impulse`` adds a lump-sum energy cost such as a
+    spin-up.  Energy is attributed to named buckets so reports can split
+    e.g. ``disk.active`` vs ``disk.spinup``.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._last_time = float(start_time)
+        self._power = 0.0
+        self._bucket = "init"
+        self._energy: dict[str, float] = defaultdict(float)
+
+    # -- integration ---------------------------------------------------
+    def advance(self, time: float) -> None:
+        """Integrate current power up to ``time``.
+
+        Earlier times are clamped (the meter never rewinds); this keeps
+        the meter safe under the out-of-order queries device queueing
+        produces.
+        """
+        dt = max(0.0, time - self._last_time)
+        if dt > 0.0 and self._power != 0.0:
+            self._energy[self._bucket] += self._power * dt
+        self._last_time = max(time, self._last_time)
+
+    def set_power(self, time: float, watts: float, bucket: str) -> None:
+        """Advance to ``time`` then change the draw to ``watts``."""
+        if watts < 0:
+            raise ValueError(f"negative power: {watts}")
+        self.advance(time)
+        self._power = watts
+        self._bucket = bucket
+
+    def add_impulse(self, joules: float, bucket: str) -> None:
+        """Add a lump-sum energy cost (e.g. a spin-up) to ``bucket``."""
+        if joules < 0:
+            raise ValueError(f"negative impulse: {joules}")
+        self._energy[bucket] += joules
+
+    # -- readout ---------------------------------------------------------
+    @property
+    def last_time(self) -> float:
+        return self._last_time
+
+    @property
+    def power(self) -> float:
+        """Current draw in watts."""
+        return self._power
+
+    def total(self, upto: float | None = None) -> float:
+        """Total joules, optionally integrating the tail up to ``upto``."""
+        extra = 0.0
+        if upto is not None and upto > self._last_time:
+            extra = self._power * (upto - self._last_time)
+        return sum(self._energy.values()) + extra
+
+    def breakdown(self) -> dict[str, float]:
+        """Joules per named bucket (copy)."""
+        return dict(self._energy)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<EnergyMeter t={self._last_time:.3f}"
+                f" P={self._power:.3f}W E={self.total():.3f}J>")

@@ -1,0 +1,37 @@
+"""Workload traces.
+
+The paper drives its simulator with strace-collected file-operation
+traces of six applications (Table 3).  Those traces were never published,
+so this subpackage provides both the *infrastructure* (record format,
+container, serialisation, strace-output parsing) and *synthetic
+generators* that reproduce each application's documented footprint and
+access structure — see DESIGN.md §2 for the substitution rationale.
+
+* :mod:`repro.traces.record` — :class:`SyscallRecord` / :class:`FileInfo`.
+* :mod:`repro.traces.trace` — the :class:`Trace` container with
+  validation and think-time statistics.
+* :mod:`repro.traces.io` — JSONL round-trip serialisation.
+* :mod:`repro.traces.strace` — parser for the modified-strace text format.
+* :mod:`repro.traces.synth` — per-application generators.
+"""
+
+from repro.traces.record import FileInfo, OpType, SyscallRecord
+from repro.traces.trace import Trace, TraceStats
+from repro.traces.io import (load_trace_csv, load_trace_jsonl,
+                             save_trace_csv, save_trace_jsonl)
+from repro.traces.strace import format_strace_line, parse_strace_line, parse_strace_text
+
+__all__ = [
+    "FileInfo",
+    "OpType",
+    "SyscallRecord",
+    "Trace",
+    "TraceStats",
+    "load_trace_csv",
+    "load_trace_jsonl",
+    "save_trace_csv",
+    "save_trace_jsonl",
+    "format_strace_line",
+    "parse_strace_line",
+    "parse_strace_text",
+]

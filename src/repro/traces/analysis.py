@@ -1,0 +1,122 @@
+"""Trace analysis: the quantities FlexFetch's decisions hinge on.
+
+Given a trace, :func:`analyze_trace` reports its burst/think structure
+(count, size and gap distributions, stage count) and per-device naive
+cost projections — the numbers one needs when calibrating a synthetic
+generator against a real capture, or when explaining why a policy chose
+what it chose.  ``flexfetch inspect <scenario>`` renders it from the
+CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.burst import BURST_THRESHOLD_DEFAULT, extract_bursts
+from repro.core.profile import STAGE_LENGTH_DEFAULT, ExecutionProfile
+from repro.devices.specs import AIRONET_350, HITACHI_DK23DA
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class Distribution:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values) -> "Distribution":
+        arr = np.asarray(list(values), dtype=float)
+        if arr.size == 0:
+            return cls(0, 0.0, 0.0, 0.0, 0.0)
+        return cls(int(arr.size), float(arr.mean()),
+                   float(np.percentile(arr, 50)),
+                   float(np.percentile(arr, 90)), float(arr.max()))
+
+
+@dataclass(frozen=True, slots=True)
+class TraceAnalysis:
+    """Structure report of one trace."""
+
+    name: str
+    syscalls: int
+    pids: int
+    file_count: int
+    footprint_mb: float
+    read_mb: float
+    write_mb: float
+    burst_count: int
+    stage_count: int
+    burst_bytes: Distribution
+    burst_requests: Distribution
+    inter_burst_thinks: Distribution
+    #: fraction of inter-burst gaps long enough for the WNIC to doze.
+    wnic_dozeable_gaps: float
+    #: fraction of inter-burst gaps exceeding the disk spin-down timeout.
+    disk_timeout_gaps: float
+
+    def render(self) -> str:
+        def dist(d: Distribution, unit: str, scale: float = 1.0) -> str:
+            return (f"n={d.count}  mean={d.mean * scale:.2f}{unit}"
+                    f"  p50={d.p50 * scale:.2f}{unit}"
+                    f"  p90={d.p90 * scale:.2f}{unit}"
+                    f"  max={d.maximum * scale:.2f}{unit}")
+
+        lines = [
+            f"trace {self.name}: {self.syscalls} syscalls from"
+            f" {self.pids} process(es),"
+            f" {self.file_count} files, {self.footprint_mb:.1f} MB"
+            f" footprint",
+            f"  data moved: read {self.read_mb:.1f} MB,"
+            f" write {self.write_mb:.1f} MB",
+            f"  bursts: {self.burst_count}"
+            f" (-> {self.stage_count} evaluation stages of"
+            f" ~{STAGE_LENGTH_DEFAULT:.0f} s)",
+            f"    bytes/burst    {dist(self.burst_bytes, 'KB', 1e-3)}",
+            f"    requests/burst {dist(self.burst_requests, '')}",
+            f"    think gaps     {dist(self.inter_burst_thinks, 's')}",
+            f"  gap structure: {self.wnic_dozeable_gaps:.0%} let the"
+            f" WNIC doze (> {AIRONET_350.cam_timeout:.1f} s),"
+            f" {self.disk_timeout_gaps:.0%} spin the disk down"
+            f" (> {HITACHI_DK23DA.spindown_timeout:.0f} s)",
+        ]
+        return "\n".join(lines)
+
+
+def analyze_trace(trace: Trace, *,
+                  burst_threshold: float = BURST_THRESHOLD_DEFAULT,
+                  stage_length: float = STAGE_LENGTH_DEFAULT
+                  ) -> TraceAnalysis:
+    """Compute the burst/think structure report of ``trace``."""
+    stats = trace.stats()
+    bursts, thinks = extract_bursts(trace.data_records(),
+                                    threshold=burst_threshold)
+    profile = ExecutionProfile(bursts, thinks, name=trace.name)
+    gaps = [t for t in thinks[:-1]] if len(thinks) > 1 else []
+    dozeable = (sum(1 for g in gaps if g > AIRONET_350.cam_timeout)
+                / len(gaps)) if gaps else 0.0
+    timeout = (sum(1 for g in gaps
+                   if g > HITACHI_DK23DA.spindown_timeout)
+               / len(gaps)) if gaps else 0.0
+    return TraceAnalysis(
+        name=trace.name,
+        syscalls=stats.record_count,
+        pids=len(trace.pids),
+        file_count=stats.file_count,
+        footprint_mb=stats.footprint_mb,
+        read_mb=stats.read_bytes / 1e6,
+        write_mb=stats.write_bytes / 1e6,
+        burst_count=len(bursts),
+        stage_count=len(profile.stages(stage_length)),
+        burst_bytes=Distribution.of(b.nbytes for b in bursts),
+        burst_requests=Distribution.of(len(b.requests) for b in bursts),
+        inter_burst_thinks=Distribution.of(gaps),
+        wnic_dozeable_gaps=dozeable,
+        disk_timeout_gaps=timeout,
+    )

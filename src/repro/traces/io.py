@@ -1,0 +1,161 @@
+"""Trace serialisation.
+
+Two on-disk formats, both lossless:
+
+* **JSONL** (native) — one header object (name + file table) followed by
+  one object per record.  Append-friendly and diff-able.
+* **CSV** — a spreadsheet-compatible flat file: ``#`` comment lines
+  carry the trace name and file table, then one row per record.
+
+The property-based tests in ``tests/traces/test_io.py`` assert exact
+round-trips for both.
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+import json
+from pathlib import Path
+from typing import IO
+
+from repro.traces.record import FileInfo, OpType, SyscallRecord
+from repro.traces.trace import Trace
+
+_FORMAT_VERSION = 1
+
+
+def _header(trace: Trace) -> dict:
+    return {
+        "kind": "header",
+        "version": _FORMAT_VERSION,
+        "name": trace.name,
+        "files": [
+            {"inode": f.inode, "path": f.path, "size": f.size_bytes}
+            for f in sorted(trace.files.values(), key=lambda f: f.inode)
+        ],
+    }
+
+
+def _record_obj(rec: SyscallRecord) -> dict:
+    return {
+        "kind": "rec",
+        "pid": rec.pid,
+        "fd": rec.fd,
+        "inode": rec.inode,
+        "offset": rec.offset,
+        "size": rec.size,
+        "op": rec.op.value,
+        "ts": rec.timestamp,
+        "dur": rec.duration,
+    }
+
+
+def save_trace_jsonl(trace: Trace, path: str | Path) -> None:
+    """Write a trace to ``path`` in JSONL format."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        _dump(trace, fh)
+
+
+def _dump(trace: Trace, fh: IO[str]) -> None:
+    fh.write(json.dumps(_header(trace), separators=(",", ":")) + "\n")
+    for rec in trace.records:
+        fh.write(json.dumps(_record_obj(rec), separators=(",", ":")) + "\n")
+
+
+def load_trace_jsonl(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace_jsonl`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        return _load(fh)
+
+
+def _load(fh: IO[str]) -> Trace:
+    header_line = fh.readline()
+    if not header_line:
+        raise ValueError("empty trace file")
+    header = json.loads(header_line)
+    if header.get("kind") != "header":
+        raise ValueError("missing trace header")
+    if header.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported trace version: {header.get('version')}")
+    files = {
+        f["inode"]: FileInfo(inode=f["inode"], path=f["path"],
+                             size_bytes=f["size"])
+        for f in header["files"]
+    }
+    records: list[SyscallRecord] = []
+    for lineno, line in enumerate(fh, start=2):
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        if obj.get("kind") != "rec":
+            raise ValueError(f"line {lineno}: expected a record object")
+        records.append(SyscallRecord(
+            pid=obj["pid"], fd=obj["fd"], inode=obj["inode"],
+            offset=obj["offset"], size=obj["size"], op=OpType(obj["op"]),
+            timestamp=obj["ts"], duration=obj["dur"]))
+    return Trace(header["name"], records, files)
+
+
+# ----------------------------------------------------------------------
+# CSV format
+# ----------------------------------------------------------------------
+_CSV_COLUMNS = ("pid", "fd", "inode", "offset", "size", "op", "ts", "dur")
+
+
+def save_trace_csv(trace: Trace, path: str | Path) -> None:
+    """Write a trace as CSV (``#`` preamble carries name + file table)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8", newline="") as fh:
+        fh.write(f"#trace,{_FORMAT_VERSION},{trace.name}\n")
+        for info in sorted(trace.files.values(), key=lambda f: f.inode):
+            # Paths are written through the csv module so commas and
+            # quotes survive.
+            buf = _io.StringIO()
+            csv.writer(buf).writerow(
+                ["#file", info.inode, info.path, info.size_bytes])
+            fh.write(buf.getvalue())
+        writer = csv.writer(fh)
+        writer.writerow(_CSV_COLUMNS)
+        for rec in trace.records:
+            writer.writerow([rec.pid, rec.fd, rec.inode, rec.offset,
+                             rec.size, rec.op.value,
+                             repr(rec.timestamp), repr(rec.duration)])
+
+
+def load_trace_csv(path: str | Path) -> Trace:
+    """Read a trace written by :func:`save_trace_csv`."""
+    path = Path(path)
+    name = None
+    files: dict[int, FileInfo] = {}
+    records: list[SyscallRecord] = []
+    header_seen = False
+    with path.open("r", encoding="utf-8", newline="") as fh:
+        for row in csv.reader(fh):
+            if not row:
+                continue
+            if row[0] == "#trace":
+                if int(row[1]) != _FORMAT_VERSION:
+                    raise ValueError(
+                        f"unsupported trace version: {row[1]}")
+                name = row[2]
+            elif row[0] == "#file":
+                inode = int(row[1])
+                files[inode] = FileInfo(inode=inode, path=row[2],
+                                        size_bytes=int(row[3]))
+            elif row[0] == "pid":
+                header_seen = True
+            else:
+                if not header_seen:
+                    raise ValueError("CSV column header missing")
+                pid, fd, inode, offset, size, op, ts, dur = row
+                records.append(SyscallRecord(
+                    pid=int(pid), fd=int(fd), inode=int(inode),
+                    offset=int(offset), size=int(size), op=OpType(op),
+                    timestamp=float(ts), duration=float(dur)))
+    if name is None:
+        raise ValueError("missing #trace preamble")
+    return Trace(name, records, files)

@@ -1,0 +1,107 @@
+"""Trace record types.
+
+The paper's modified *strace* collects, for each file-related system
+call: "pid, file descriptor, inode number, offset, size, type, timestamp,
+and duration" (§3.2).  :class:`SyscallRecord` is exactly that tuple;
+:class:`FileInfo` carries the per-file metadata (path, size) used for
+disk layout and Table 3 accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class OpType(str, Enum):
+    """File-operation type.
+
+    Only data-moving calls matter to the energy model; ``OPEN``/``CLOSE``
+    are retained so real strace captures round-trip losslessly (they get
+    zero size and are ignored by burst extraction).
+    """
+
+    READ = "read"
+    WRITE = "write"
+    OPEN = "open"
+    CLOSE = "close"
+
+    @property
+    def moves_data(self) -> bool:
+        return self in (OpType.READ, OpType.WRITE)
+
+
+@dataclass(frozen=True, slots=True)
+class SyscallRecord:
+    """One traced system call.
+
+    Attributes
+    ----------
+    pid:
+        Process id; processes in one group belong to one program (§2.1).
+    fd:
+        File descriptor at the time of the call (informational).
+    inode:
+        Identity of the file — the stable key used for layout, caching,
+        and profile matching.
+    offset / size:
+        Byte range touched.  ``size`` is the *returned* count.
+    op:
+        Operation type.
+    timestamp:
+        Call entry time, seconds from trace start.
+    duration:
+        Time spent inside the call during the *profiling* run.  Replay
+        recomputes service times from the simulated devices; the recorded
+        duration only participates in think-time derivation.
+    """
+
+    pid: int
+    fd: int
+    inode: int
+    offset: int
+    size: int
+    op: OpType
+    timestamp: float
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError(f"negative offset: {self.offset}")
+        if self.size < 0:
+            raise ValueError(f"negative size: {self.size}")
+        if self.timestamp < 0:
+            raise ValueError(f"negative timestamp: {self.timestamp}")
+        if self.duration < 0:
+            raise ValueError(f"negative duration: {self.duration}")
+
+    @property
+    def end_time(self) -> float:
+        """Time the call returned."""
+        return self.timestamp + self.duration
+
+    @property
+    def end_offset(self) -> int:
+        """One past the last byte touched."""
+        return self.offset + self.size
+
+    def is_sequential_with(self, prev: "SyscallRecord") -> bool:
+        """Whether this call continues ``prev`` in the same file."""
+        return (self.inode == prev.inode
+                and self.op == prev.op
+                and self.offset == prev.end_offset)
+
+
+@dataclass(frozen=True, slots=True)
+class FileInfo:
+    """Static metadata of one traced file."""
+
+    inode: int
+    path: str
+    size_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError(f"negative file size: {self.size_bytes}")
+        if not self.path:
+            raise ValueError("empty path")

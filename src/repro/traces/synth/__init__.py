@@ -1,0 +1,67 @@
+"""Synthetic application traces (Table 3 substitutes).
+
+Each module generates one of the paper's six traced applications from a
+seed, matching the Table 3 footprint (file count, total MB) and the
+access structure §3.3 describes for the scenario.  All generators are
+deterministic functions of their parameters.
+
+===============  ======  =========  ==========================================
+application      files   size (MB)  structure
+===============  ======  =========  ==========================================
+grep             1332    50.4       whole-tree scan, tiny gaps, one burst
+make             2579    72.5       compile steps: read sources, think, write .o
+xmms             116     47.9       periodic small reads (keeps disk awake)
+mplayer          121     136.3      1 MB bursts every ~7.5 s (streaming)
+thunderbird      283     188.1      sparse small reads, then bulk mbox search
+acroread         10      200.0      20 MB scans every 10 s (and the 2 MB /
+                                    25 s *profile* variant of §3.3.5)
+===============  ======  =========  ==========================================
+"""
+
+from repro.traces.synth.acroread import (
+    generate_acroread_profile_run,
+    generate_acroread_search_run,
+)
+from repro.traces.synth.composite import (
+    generate_grep_make,
+    generate_grep_make_xmms,
+)
+from repro.traces.synth.grep import generate_grep
+from repro.traces.synth.make import generate_make
+from repro.traces.synth.mplayer import generate_mplayer
+from repro.traces.synth.thunderbird import generate_thunderbird
+from repro.traces.synth.xmms import generate_xmms
+
+#: Generator registry for Table 3 reproduction and the CLI.
+TABLE3_GENERATORS = {
+    "thunderbird": generate_thunderbird,
+    "make": generate_make,
+    "grep": generate_grep,
+    "xmms": generate_xmms,
+    "mplayer": generate_mplayer,
+    "acroread": generate_acroread_search_run,
+}
+
+#: Paper Table 3 reference rows: name -> (file count, size MB).
+TABLE3_REFERENCE = {
+    "thunderbird": (283, 188.1),
+    "make": (2579, 72.5),
+    "grep": (1332, 50.4),
+    "xmms": (116, 47.9),
+    "mplayer": (121, 136.3),
+    "acroread": (10, 200.0),
+}
+
+__all__ = [
+    "generate_grep",
+    "generate_make",
+    "generate_xmms",
+    "generate_mplayer",
+    "generate_thunderbird",
+    "generate_acroread_profile_run",
+    "generate_acroread_search_run",
+    "generate_grep_make",
+    "generate_grep_make_xmms",
+    "TABLE3_GENERATORS",
+    "TABLE3_REFERENCE",
+]

@@ -1,0 +1,91 @@
+"""Acroread — "a PDF file reader" with a stale profile (§3.3.5).
+
+Table 3: 10 files, 200.0 MB.  The invalid-profile experiment needs two
+different executions of the same program:
+
+* the **profile run** — "an execution of Acroread where a set of 2 MB
+  PDF files are read with an interval of 25 seconds, which is longer
+  than the disk time-out": sparse small reads, WNIC-friendly;
+* the **search run** — "a user searches multiple keywords in several
+  20 MB PDF files continuously with a 10 seconds interval": bursty
+  20 MB sweeps, disk-friendly.
+
+FlexFetch starts the search run on the profile-run decision (WNIC),
+notices at the first stage audit that the disk would have been cheaper,
+and corrects — losing roughly one stage versus BlueFS (§3.3.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.clock import MB
+from repro.traces.synth.base import TraceBuilder
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class AcroreadSearchParams:
+    """Search-run knobs (defaults = Table 3: 10 x 20 MB)."""
+
+    file_count: int = 10
+    file_bytes: int = 20 * 10**6
+    searches: int = 18
+    search_interval: float = 10.0
+    chunk: int = 64 * 1024
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.file_count * self.file_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class AcroreadProfileParams:
+    """Profile-run knobs (§3.3.5: 2 MB files, 25 s intervals)."""
+
+    file_count: int = 10
+    file_bytes: int = 2 * 10**6
+    reads: int = 16
+    read_interval: float = 25.0      # > the 20 s disk time-out
+    chunk: int = 64 * 1024
+
+
+def generate_acroread_search_run(
+        seed: int = 0, params: AcroreadSearchParams | None = None,
+        *, pid: int = 2006, start_time: float = 0.0) -> Trace:
+    """The *current* execution: bursty keyword searches in 20 MB PDFs.
+
+    Each search sweeps one PDF start-to-end (Acroread's text extractor
+    touches every object stream), files visited round-robin, 10 s of
+    user think between searches.
+    """
+    p = params or AcroreadSearchParams()
+    b = TraceBuilder("acroread-search", seed=seed, pid=pid,
+                     start_time=start_time)
+    pdfs = [b.new_file(f"docs/spec{i:02d}.pdf", p.file_bytes)
+            for i in range(p.file_count)]
+    for i in range(p.searches):
+        inode = pdfs[i % len(pdfs)]
+        b.read_whole_file(inode, chunk=p.chunk)
+        b.think(p.search_interval)
+    return b.build()
+
+
+def generate_acroread_profile_run(
+        seed: int = 0, params: AcroreadProfileParams | None = None,
+        *, pid: int = 2006, start_time: float = 0.0) -> Trace:
+    """The *recorded* execution: casual reading of small PDFs.
+
+    Sparse whole-file reads of 2 MB documents, 25 s apart — the pattern
+    whose profile tells FlexFetch the WNIC is the cheap device.
+    """
+    p = params or AcroreadProfileParams()
+    b = TraceBuilder("acroread-profile", seed=seed, pid=pid,
+                     start_time=start_time)
+    pdfs = [b.new_file(f"docs/note{i:02d}.pdf", p.file_bytes)
+            for i in range(p.file_count)]
+    for i in range(p.reads):
+        inode = pdfs[i % len(pdfs)]
+        b.read_whole_file(inode, chunk=p.chunk)
+        b.think(p.read_interval)
+    return b.build()

@@ -1,0 +1,173 @@
+"""Trace-building toolkit shared by the application generators.
+
+:class:`TraceBuilder` keeps a running clock and emits syscall records the
+way an application would: open a file, read it in chunks with small
+inter-call gaps, think, write results.  Generators compose these verbs;
+the builder guarantees ordering, fd bookkeeping, and EOF safety so every
+generated trace passes :class:`~repro.traces.trace.Trace` validation by
+construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+from repro.traces.record import FileInfo, OpType, SyscallRecord
+from repro.traces.trace import Trace
+
+#: Nominal in-call duration model: warm-disk transfer + a little CPU.
+_NOMINAL_BW = 35e6
+_NOMINAL_OVERHEAD = 0.2e-3
+
+
+def nominal_duration(size: int) -> float:
+    """Plausible recorded duration for a call moving ``size`` bytes.
+
+    Replay never uses this for device timing — only think-gap derivation
+    does — so any smooth monotone model works; this one mimics a warm
+    local disk.
+    """
+    return _NOMINAL_OVERHEAD + size / _NOMINAL_BW
+
+
+def sized_partition(rng: np.random.Generator, total: int, parts: int, *,
+                    min_size: int = 512, sigma: float = 0.8) -> list[int]:
+    """Split ``total`` bytes into ``parts`` lognormal-ish file sizes.
+
+    Sizes are positive, sum exactly to ``total``, and have the right-
+    skewed shape of real file-size distributions.
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if total < parts * min_size:
+        raise ValueError(f"total {total} too small for {parts} x {min_size}")
+    weights = rng.lognormal(mean=0.0, sigma=sigma, size=parts)
+    weights /= weights.sum()
+    spare = total - parts * min_size
+    sizes = (weights * spare).astype(np.int64) + min_size
+    # Distribute the rounding remainder deterministically.
+    sizes[0] += total - int(sizes.sum())
+    assert int(sizes.sum()) == total
+    return [int(s) for s in sizes]
+
+
+class TraceBuilder:
+    """Stateful builder for one program's trace."""
+
+    def __init__(self, name: str, *, seed: int, pid: int = 1000,
+                 start_time: float = 0.0) -> None:
+        self.name = name
+        self.rng = make_rng(seed, f"trace:{name}")
+        self.pid = pid
+        self._now = float(start_time)
+        self._records: list[SyscallRecord] = []
+        self._files: dict[int, FileInfo] = {}
+        self._next_inode = 1
+        self._next_fd = 3
+        self._open_fds: dict[int, int] = {}  # inode -> fd
+
+    # -- namespace -------------------------------------------------------
+    def new_file(self, path: str, size_bytes: int) -> int:
+        """Register a file; returns its inode."""
+        inode = self._next_inode
+        self._next_inode += 1
+        self._files[inode] = FileInfo(inode=inode, path=path,
+                                      size_bytes=size_bytes)
+        return inode
+
+    def grow_file(self, inode: int, new_size: int) -> None:
+        """Extend a file (writes past EOF do this implicitly)."""
+        info = self._files[inode]
+        if new_size > info.size_bytes:
+            self._files[inode] = FileInfo(inode=inode, path=info.path,
+                                          size_bytes=new_size)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def file_count(self) -> int:
+        return len(self._files)
+
+    @property
+    def footprint_bytes(self) -> int:
+        return sum(f.size_bytes for f in self._files.values())
+
+    # -- verbs ------------------------------------------------------------
+    def think(self, seconds: float) -> None:
+        """Advance the clock without I/O (compute / user think time)."""
+        if seconds < 0:
+            raise ValueError("negative think time")
+        self._now += seconds
+
+    def _emit(self, inode: int, offset: int, size: int, op: OpType,
+              duration: float) -> None:
+        fd = self._open_fds.get(inode)
+        if fd is None:
+            fd = self._next_fd
+            self._next_fd += 1
+            self._open_fds[inode] = fd
+        self._records.append(SyscallRecord(
+            pid=self.pid, fd=fd, inode=inode, offset=offset, size=size,
+            op=op, timestamp=self._now, duration=duration))
+        self._now += duration
+
+    def read(self, inode: int, offset: int, size: int, *,
+             gap_after: float = 0.0) -> None:
+        """Emit one read call, then advance by ``gap_after``."""
+        info = self._files[inode]
+        size = min(size, info.size_bytes - offset)
+        if size <= 0:
+            return
+        self._emit(inode, offset, size, OpType.READ, nominal_duration(size))
+        self.think(gap_after)
+
+    def write(self, inode: int, offset: int, size: int, *,
+              gap_after: float = 0.0) -> None:
+        """Emit one write call (growing the file), then gap."""
+        if size <= 0:
+            return
+        self.grow_file(inode, offset + size)
+        self._emit(inode, offset, size, OpType.WRITE, nominal_duration(size))
+        self.think(gap_after)
+
+    def read_whole_file(self, inode: int, *, chunk: int = 32 * 1024,
+                        intra_gap: float = 0.2e-3) -> None:
+        """Read a file start-to-end in ``chunk``-sized sequential calls.
+
+        ``intra_gap`` is the tiny think time between chunks — well below
+        the 20 ms burst threshold, so the whole file lands in one burst.
+        """
+        size = self._files[inode].size_bytes
+        offset = 0
+        while offset < size:
+            step = min(chunk, size - offset)
+            self.read(inode, offset, step, gap_after=intra_gap)
+            offset += step
+
+    def read_range(self, inode: int, offset: int, length: int, *,
+                   chunk: int = 32 * 1024, intra_gap: float = 0.2e-3) -> None:
+        """Read ``[offset, offset+length)`` in sequential chunks."""
+        end = min(offset + length, self._files[inode].size_bytes)
+        pos = offset
+        while pos < end:
+            step = min(chunk, end - pos)
+            self.read(inode, pos, step, gap_after=intra_gap)
+            pos += step
+
+    def write_whole_file(self, inode: int, size: int, *,
+                         chunk: int = 32 * 1024,
+                         intra_gap: float = 0.2e-3) -> None:
+        """Write a file start-to-end in sequential chunks."""
+        offset = 0
+        while offset < size:
+            step = min(chunk, size - offset)
+            self.write(inode, offset, step, gap_after=intra_gap)
+            offset += step
+
+    # -- finish -----------------------------------------------------------
+    def build(self) -> Trace:
+        """Finalize into an immutable, validated :class:`Trace`."""
+        return Trace(self.name, self._records, self._files)

@@ -1,0 +1,59 @@
+"""Composite scenarios (§3.3.1 and §3.3.4).
+
+* :func:`generate_grep_make` — "a kernel programmer first searches the
+  Linux source code using grep and then builds a kernel binary using
+  make": grep's trace followed by make's after a short pause.
+* :func:`generate_grep_make_xmms` — the same foreground workload with
+  xmms playing mp3 files ("stored only on the local hard disk")
+  concurrently in the background, keeping the disk spun up.
+
+Composition remaps inode spaces to stay disjoint; the xmms program is
+returned separately so the replay simulator can run it as a
+*non-profiled*, disk-pinned background program (§2.3.3).
+"""
+
+from __future__ import annotations
+
+from repro.traces.synth.grep import GrepParams, generate_grep
+from repro.traces.synth.make import MakeParams, generate_make
+from repro.traces.synth.xmms import XmmsParams, generate_xmms
+from repro.traces.trace import Trace
+
+#: Pause between finishing the grep and starting the build.
+_GREP_TO_MAKE_GAP = 4.0
+
+
+def generate_grep_make(seed: int = 0, *,
+                       grep_params: GrepParams | None = None,
+                       make_params: MakeParams | None = None) -> Trace:
+    """The §3.3.1 programming scenario: grep, short pause, make."""
+    grep = generate_grep(seed, grep_params)
+    make = generate_make(seed, make_params)
+    make = make.renumbered(grep.max_inode())
+    return grep.concat(make, gap=_GREP_TO_MAKE_GAP, name="grep+make")
+
+
+def generate_grep_make_xmms(
+        seed: int = 0, *,
+        grep_params: GrepParams | None = None,
+        make_params: MakeParams | None = None,
+        xmms_params: XmmsParams | None = None) -> tuple[Trace, Trace]:
+    """The §3.3.4 forced-spin-up scenario.
+
+    Returns ``(foreground, background)``: the grep+make trace and an
+    xmms trace sized to play for the whole foreground duration.  The
+    caller runs xmms as a separate non-profiled program whose files
+    exist only on the local disk.
+    """
+    fg = generate_grep_make(seed, grep_params=grep_params,
+                            make_params=make_params)
+    xp = xmms_params or XmmsParams(duration=fg.duration + 60.0)
+    if xp.duration is None:
+        xp = XmmsParams(file_count=xp.file_count,
+                        footprint_bytes=xp.footprint_bytes,
+                        read_chunk=xp.read_chunk,
+                        read_interval=xp.read_interval,
+                        duration=fg.duration + 60.0)
+    bg = generate_xmms(seed, xp)
+    bg = bg.renumbered(fg.max_inode())
+    return fg, bg

@@ -1,0 +1,246 @@
+"""make — "building Linux kernel".
+
+Table 3: 2579 files, 72.5 MB.  §3.3.1: the build "takes several
+minutes" and is the poster child for WNIC service: small-file read
+bursts separated by compile think times too short for the disk's 20 s
+spin-down timeout but long enough for the WNIC's 800 ms CAM->PSM drop.
+
+Structure per compile step: read one source file plus a handful of
+headers (headers repeat across steps — buffer-cache hits, exercising
+§2.3.2), think for the compile, write the object file.  A small
+fraction of steps are long (config checks, big units, the final link),
+giving the > 20 s quiet periods that make Disk-only pay burst spin-up /
+spin-down cycles and BlueFS oscillate between devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.rng import make_rng
+from repro.traces.record import FileInfo, OpType, SyscallRecord
+from repro.traces.synth.base import (
+    TraceBuilder,
+    nominal_duration,
+    sized_partition,
+)
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class MakeParams:
+    """Generator knobs (defaults sized to Table 3).
+
+    ``source_count + header_count + object_count + 1`` (the final binary)
+    must equal the Table 3 file count; footprints likewise.
+    """
+
+    source_count: int = 1900
+    header_count: int = 500
+    object_count: int = 178
+    source_bytes: int = int(38.0 * 1e6)
+    header_bytes: int = int(14.0 * 1e6)
+    object_bytes: int = int(15.5 * 1e6)
+    binary_bytes: int = int(5.0 * 1e6)
+    headers_per_step: int = 5
+    compile_time_mean: float = 1.7     # lognormal mean of think per step
+    compile_time_sigma: float = 0.5
+    long_step_fraction: float = 0.03   # config / big units
+    long_step_min: float = 22.0        # > disk spin-down timeout
+    long_step_max: float = 45.0
+    link_think: float = 30.0           # quiet period before the link
+    #: parallel build jobs (``make -jN``).  With N > 1 the compile
+    #: steps interleave across N worker pids; §2.1 associates them all
+    #: with one program via the process group, which is exactly how the
+    #: replay treats a multi-pid trace.  Timestamps compress by roughly
+    #: the job count while the per-worker step structure is unchanged.
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+
+    @property
+    def file_count(self) -> int:
+        return (self.source_count + self.header_count
+                + self.object_count + 1)
+
+    @property
+    def footprint_bytes(self) -> int:
+        return (self.source_bytes + self.header_bytes
+                + self.object_bytes + self.binary_bytes)
+
+
+def generate_make(seed: int = 0, params: MakeParams | None = None,
+                  *, pid: int = 2002, start_time: float = 0.0) -> Trace:
+    """Generate the kernel-build trace.
+
+    One compile step per object file; each step reads a window of
+    sources (``object_count`` steps cover all sources round-robin) and a
+    random sample of headers, thinks, and writes the object.  Ends with
+    a link step reading every object and writing the binary.
+    """
+    p = params or MakeParams()
+    if p.jobs > 1:
+        return _generate_parallel(seed, p, pid=pid, start_time=start_time)
+    b = TraceBuilder("make", seed=seed, pid=pid, start_time=start_time)
+
+    src_sizes = sized_partition(b.rng, p.source_bytes, p.source_count,
+                                min_size=512, sigma=0.8)
+    hdr_sizes = sized_partition(b.rng, p.header_bytes, p.header_count,
+                                min_size=512, sigma=0.7)
+    obj_sizes = sized_partition(b.rng, p.object_bytes, p.object_count,
+                                min_size=1024, sigma=0.6)
+    sources = [b.new_file(f"linux/src/unit{i:05d}.c", s)
+               for i, s in enumerate(src_sizes)]
+    headers = [b.new_file(f"linux/include/h{i:04d}.h", s)
+               for i, s in enumerate(hdr_sizes)]
+    objects = [b.new_file(f"linux/obj/unit{i:05d}.o", 0)
+               for i in range(p.object_count)]
+    binary = b.new_file("linux/vmlinux", 0)
+
+    per_step = max(1, p.source_count // p.object_count)
+    src_cursor = 0
+    for step, obj in enumerate(objects):
+        # Read the sources for this step plus a sample of headers.
+        for _ in range(per_step):
+            if src_cursor < len(sources):
+                b.read_whole_file(sources[src_cursor])
+                src_cursor += 1
+        picks = b.rng.choice(len(headers),
+                             size=min(p.headers_per_step, len(headers)),
+                             replace=False)
+        for idx in sorted(int(i) for i in picks):
+            b.read_whole_file(headers[idx])
+        # Compile (think), then emit the object file.
+        if b.rng.random() < p.long_step_fraction:
+            think = float(b.rng.uniform(p.long_step_min, p.long_step_max))
+        else:
+            think = float(b.rng.lognormal(0.0, p.compile_time_sigma)
+                          * p.compile_time_mean)
+        b.think(think)
+        b.write_whole_file(obj, obj_sizes[step])
+        b.think(float(b.rng.uniform(0.02, 0.1)))
+    # Stragglers: any sources not yet consumed get a final sweep.
+    while src_cursor < len(sources):
+        b.read_whole_file(sources[src_cursor])
+        src_cursor += 1
+    # Link: a long quiet period, then a big sequential burst.
+    b.think(p.link_think)
+    for obj in objects:
+        b.read_whole_file(obj)
+    b.write_whole_file(binary, p.binary_bytes)
+    return b.build()
+
+
+def _generate_parallel(seed: int, p: MakeParams, *, pid: int,
+                       start_time: float) -> Trace:
+    """``make -jN``: compile steps scheduled onto N worker pids.
+
+    Workers emit the same step structure as the sequential path
+    (source + header reads, a compile think, the object write); each
+    step goes to the earliest-available worker, so the build wall time
+    compresses by roughly the job count.  §2.1's process-group
+    association is what lets the profiler treat the resulting
+    multi-pid trace as one program.
+    """
+    rng = make_rng(seed, "trace:make")
+    src_sizes = sized_partition(rng, p.source_bytes, p.source_count,
+                                min_size=512, sigma=0.8)
+    hdr_sizes = sized_partition(rng, p.header_bytes, p.header_count,
+                                min_size=512, sigma=0.7)
+    obj_sizes = sized_partition(rng, p.object_bytes, p.object_count,
+                                min_size=1024, sigma=0.6)
+
+    files: dict[int, FileInfo] = {}
+    next_inode = 1
+
+    def new_file(path: str, size: int) -> int:
+        nonlocal next_inode
+        inode = next_inode
+        next_inode += 1
+        files[inode] = FileInfo(inode=inode, path=path, size_bytes=size)
+        return inode
+
+    sources = [new_file(f"linux/src/unit{i:05d}.c", s)
+               for i, s in enumerate(src_sizes)]
+    headers = [new_file(f"linux/include/h{i:04d}.h", s)
+               for i, s in enumerate(hdr_sizes)]
+    objects = [new_file(f"linux/obj/unit{i:05d}.o", 0)
+               for i in range(p.object_count)]
+    binary = new_file("linux/vmlinux", 0)
+
+    records: list[SyscallRecord] = []
+    fd_of: dict[tuple[int, int], int] = {}
+    next_fd = [3]
+
+    def emit(worker: int, t: float, inode: int, offset: int, size: int,
+             op: OpType) -> float:
+        """One syscall from ``worker``; returns its completion time."""
+        wpid = pid + worker
+        fd = fd_of.setdefault((wpid, inode), next_fd[0])
+        if fd == next_fd[0]:
+            next_fd[0] += 1
+        dur = nominal_duration(size)
+        records.append(SyscallRecord(
+            pid=wpid, fd=fd, inode=inode, offset=offset, size=size,
+            op=op, timestamp=t, duration=dur))
+        if op is OpType.WRITE:
+            info = files[inode]
+            if offset + size > info.size_bytes:
+                files[inode] = FileInfo(inode=inode, path=info.path,
+                                        size_bytes=offset + size)
+        return t + dur
+
+    def emit_whole(worker: int, t: float, inode: int, op: OpType,
+                   size: int, chunk: int = 32 * 1024,
+                   gap: float = 0.2e-3) -> float:
+        offset = 0
+        while offset < size:
+            step = min(chunk, size - offset)
+            t = emit(worker, t, inode, offset, step, op) + gap
+            offset += step
+        return t
+
+    per_step = max(1, p.source_count // p.object_count)
+    src_cursor = 0
+    avail = [start_time] * p.jobs
+    for step in range(p.object_count):
+        worker = min(range(p.jobs), key=lambda w: avail[w])
+        t = avail[worker]
+        for _ in range(per_step):
+            if src_cursor < len(sources):
+                size = files[sources[src_cursor]].size_bytes
+                t = emit_whole(worker, t, sources[src_cursor],
+                               OpType.READ, size)
+                src_cursor += 1
+        picks = rng.choice(len(headers),
+                           size=min(p.headers_per_step, len(headers)),
+                           replace=False)
+        for idx in sorted(int(i) for i in picks):
+            t = emit_whole(worker, t, headers[idx], OpType.READ,
+                           files[headers[idx]].size_bytes)
+        if rng.random() < p.long_step_fraction:
+            t += float(rng.uniform(p.long_step_min, p.long_step_max))
+        else:
+            t += float(rng.lognormal(0.0, p.compile_time_sigma)
+                       * p.compile_time_mean)
+        t = emit_whole(worker, t, objects[step], OpType.WRITE,
+                       obj_sizes[step])
+        avail[worker] = t + float(rng.uniform(0.02, 0.1))
+    # Straggler sources on whichever worker frees first.
+    while src_cursor < len(sources):
+        worker = min(range(p.jobs), key=lambda w: avail[w])
+        avail[worker] = emit_whole(
+            worker, avail[worker], sources[src_cursor], OpType.READ,
+            files[sources[src_cursor]].size_bytes)
+        src_cursor += 1
+    # Serial link phase after every worker finishes.
+    t = max(avail) + p.link_think
+    for inode in objects:
+        t = emit_whole(0, t, inode, OpType.READ,
+                       files[inode].size_bytes)
+    emit_whole(0, t, binary, OpType.WRITE, p.binary_bytes)
+
+    records.sort(key=lambda r: r.timestamp)
+    return Trace("make", records, files)

@@ -1,0 +1,128 @@
+"""Named evaluation scenarios.
+
+A *scenario* bundles everything a replay needs: the programs (with
+their profiled/pinned flags) and the profile FlexFetch should start
+from — which for the invalid-profile scenario deliberately comes from a
+different execution.  The registry gives the CLI, the examples, and
+downstream users one vocabulary for the paper's §3.3 set-ups:
+
+=====================  ==============================================
+name                   §3.3 scenario
+=====================  ==============================================
+``grep+make``          programming (Figure 1)
+``mplayer``            media streaming (Figure 2)
+``thunderbird``        email read-then-search (Figure 3)
+``grep+make+xmms``     forced disk spin-up (Figure 4)
+``acroread-stale``     invalid profile (Figure 5)
+plus each single Table 3 application under its own name.
+=====================  ==============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.profile import ExecutionProfile, profile_from_trace
+from repro.core.simulator import ProgramSpec
+from repro.traces.synth.acroread import (
+    generate_acroread_profile_run,
+    generate_acroread_search_run,
+)
+from repro.traces.synth.composite import (
+    generate_grep_make,
+    generate_grep_make_xmms,
+)
+from repro.traces.synth.grep import generate_grep
+from repro.traces.synth.make import generate_make
+from repro.traces.synth.mplayer import generate_mplayer
+from repro.traces.synth.thunderbird import generate_thunderbird
+from repro.traces.synth.xmms import generate_xmms
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One ready-to-replay evaluation set-up."""
+
+    name: str
+    description: str
+    programs: tuple[ProgramSpec, ...]
+    #: the history FlexFetch starts from (may be stale on purpose).
+    profile: ExecutionProfile
+
+    @property
+    def foreground(self) -> ProgramSpec:
+        """The first profiled program (for reporting)."""
+        for spec in self.programs:
+            if spec.profiled:
+                return spec
+        return self.programs[0]
+
+
+def _single(name: str, description: str, generator):
+    def build(seed: int) -> Scenario:
+        trace = generator(seed)
+        return Scenario(name=name, description=description,
+                        programs=(ProgramSpec(trace),),
+                        profile=profile_from_trace(trace))
+    return build
+
+
+def _grep_make(seed: int) -> Scenario:
+    trace = generate_grep_make(seed)
+    return Scenario(
+        name="grep+make",
+        description="programming: search the tree, then build (Fig 1)",
+        programs=(ProgramSpec(trace),),
+        profile=profile_from_trace(trace))
+
+
+def _grep_make_xmms(seed: int) -> Scenario:
+    fg, bg = generate_grep_make_xmms(seed)
+    return Scenario(
+        name="grep+make+xmms",
+        description="programming with disk-pinned mp3 playback (Fig 4)",
+        programs=(ProgramSpec(fg),
+                  ProgramSpec(bg, profiled=False, disk_pinned=True)),
+        profile=profile_from_trace(fg))
+
+
+def _acroread_stale(seed: int) -> Scenario:
+    search = generate_acroread_search_run(seed)
+    stale = profile_from_trace(generate_acroread_profile_run(seed))
+    return Scenario(
+        name="acroread-stale",
+        description="bursty PDF searches under a casual-reading"
+                    " profile (Fig 5)",
+        programs=(ProgramSpec(search),),
+        profile=stale)
+
+
+#: name -> builder(seed) for every scenario.
+SCENARIOS = {
+    "grep": _single("grep", "one dense source-tree scan",
+                    generate_grep),
+    "make": _single("make", "kernel build: bursts + compile gaps",
+                    generate_make),
+    "xmms": _single("xmms", "periodic mp3 reads", generate_xmms),
+    "mplayer": _single("mplayer", "movie streaming (Fig 2)",
+                       generate_mplayer),
+    "thunderbird": _single("thunderbird",
+                           "email read-then-search (Fig 3)",
+                           generate_thunderbird),
+    "acroread": _single("acroread", "bursty PDF keyword searches",
+                        generate_acroread_search_run),
+    "grep+make": _grep_make,
+    "grep+make+xmms": _grep_make_xmms,
+    "acroread-stale": _acroread_stale,
+}
+
+
+def build_scenario(name: str, seed: int = 7) -> Scenario:
+    """Instantiate a registered scenario (KeyError on unknown name)."""
+    try:
+        builder = SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; choose from"
+            f" {sorted(SCENARIOS)}") from None
+    return builder(seed)

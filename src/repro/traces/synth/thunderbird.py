@@ -1,0 +1,87 @@
+"""Thunderbird — "an email client" with two distinct phases.
+
+Table 3: 283 files, 188.1 MB.  §3.3.3: Thunderbird "stores user's email
+in several large email files.  It first reads several emails one after
+another with considerable think time in between, and then quickly
+searches the entire email files to locate user-specified emails."
+
+Phase 1 (reading) is the WNIC's territory: small random reads inside
+big mbox files, ~15 s apart — long enough for the WNIC to doze, too
+short for the disk to spin down, so Disk-only burns idle watts.
+Phase 2 (search) is a full sequential sweep of every mbox — a bursty,
+bandwidth-bound job the disk wins outright.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.clock import MB
+from repro.traces.synth.base import TraceBuilder, sized_partition
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class ThunderbirdParams:
+    """Generator knobs (defaults = Table 3)."""
+
+    mbox_count: int = 8
+    mbox_bytes: int = int(182.0 * 1e6)
+    support_count: int = 275
+    support_bytes: int = int(6.1 * 1e6)
+    emails_read: int = 16
+    email_bytes_mean: int = 96 * 1024
+    read_think_mean: float = 16.0       # "considerable think time"
+    read_think_jitter: float = 4.0
+    search_chunk: int = 64 * 1024
+
+    @property
+    def file_count(self) -> int:
+        return self.mbox_count + self.support_count
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.mbox_bytes + self.support_bytes
+
+
+def generate_thunderbird(seed: int = 0,
+                         params: ThunderbirdParams | None = None,
+                         *, pid: int = 2005,
+                         start_time: float = 0.0) -> Trace:
+    """Generate the email read-then-search trace."""
+    p = params or ThunderbirdParams()
+    b = TraceBuilder("thunderbird", seed=seed, pid=pid,
+                     start_time=start_time)
+    support_sizes = sized_partition(b.rng, p.support_bytes,
+                                    p.support_count, min_size=256,
+                                    sigma=0.9)
+    support = [b.new_file(f"profile/f{i:03d}", s)
+               for i, s in enumerate(support_sizes)]
+    mbox_sizes = sized_partition(b.rng, p.mbox_bytes, p.mbox_count,
+                                 min_size=4 * MB, sigma=0.3)
+    mboxes = [b.new_file(f"mail/folder{i}.mbox", s)
+              for i, s in enumerate(mbox_sizes)]
+
+    # Startup: prefs, index files.
+    for inode in support[:60]:
+        b.read_whole_file(inode)
+    b.think(3.0)  # window comes up, user orients
+
+    # Phase 1: read individual emails with long think gaps.
+    for _ in range(p.emails_read):
+        which = int(b.rng.integers(0, len(mboxes)))
+        inode, size = mboxes[which], mbox_sizes[which]
+        email_len = int(b.rng.exponential(p.email_bytes_mean)) + 8 * 1024
+        email_len = min(email_len, size)
+        offset = int(b.rng.integers(0, max(1, size - email_len)))
+        # Align to a page so re-reads during search can hit cache cleanly.
+        offset -= offset % 4096
+        b.read_range(inode, offset, email_len)
+        b.think(max(2.0, float(b.rng.normal(p.read_think_mean,
+                                            p.read_think_jitter))))
+
+    # Phase 2: the user searches — sweep every mbox back-to-back.
+    for inode in mboxes:
+        b.read_whole_file(inode, chunk=p.search_chunk)
+        b.think(0.5e-3)
+    return b.build()

@@ -1,0 +1,65 @@
+"""xmms — "a mp3 player" whose files live *only* on the local disk.
+
+Table 3: 116 files, 47.9 MB.  In §3.3.4 xmms runs concurrently with
+grep+make and "keeps accessing the hard disk to make the disk stay in
+the active/idle states": its read interval is well below the 20 s
+spin-down timeout, so the disk never spins down while music plays —
+the forced-spin-up dynamic FlexFetch's free-rider logic (§2.3.3)
+exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.traces.synth.base import TraceBuilder, sized_partition
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class XmmsParams:
+    """Generator knobs (defaults = Table 3).
+
+    ``read_interval`` must stay below the disk spin-down timeout for the
+    §3.3.4 scenario to work; the default models a player refilling a
+    256 KB ring buffer from 128 kbit/s audio every ~4 s.
+    """
+
+    file_count: int = 116
+    footprint_bytes: int = int(47.9 * 1e6)
+    read_chunk: int = 64 * 1024
+    read_interval: float = 4.0
+    duration: float | None = None   # stop after this long (None = playlist)
+
+    def __post_init__(self) -> None:
+        if self.read_interval <= 0:
+            raise ValueError("read interval must be positive")
+
+
+def generate_xmms(seed: int = 0, params: XmmsParams | None = None,
+                  *, pid: int = 2003, start_time: float = 0.0) -> Trace:
+    """Generate the mp3-playback trace.
+
+    Plays the playlist in order: each song is read as periodic
+    ``read_chunk`` requests every ``read_interval`` seconds until the
+    file is exhausted, then the next song starts.  With ``duration``
+    set, playback stops once the clock passes it (used to match the
+    length of the foreground grep+make run in Figure 4).
+    """
+    p = params or XmmsParams()
+    b = TraceBuilder("xmms", seed=seed, pid=pid, start_time=start_time)
+    sizes = sized_partition(b.rng, p.footprint_bytes, p.file_count,
+                            min_size=64 * 1024, sigma=0.3)
+    songs = [b.new_file(f"music/track{i:03d}.mp3", s)
+             for i, s in enumerate(sizes)]
+    for inode, size in zip(songs, sizes):
+        offset = 0
+        while offset < size:
+            if p.duration is not None \
+                    and b.now - start_time >= p.duration:
+                return b.build()
+            step = min(p.read_chunk, size - offset)
+            b.read(inode, offset, step)
+            offset += step
+            b.think(p.read_interval)
+    return b.build()

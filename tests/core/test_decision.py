@@ -1,0 +1,118 @@
+"""Exhaustive tests for the §2.2 decision rules."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.decision import (
+    LOSS_RATE_DEFAULT,
+    DataSource,
+    DecisionInputs,
+    decide,
+)
+
+
+def d(t_d, e_d, t_n, e_n, loss=LOSS_RATE_DEFAULT):
+    return decide(DecisionInputs(t_disk=t_d, e_disk=e_d, t_network=t_n,
+                                 e_network=e_n), loss_rate=loss)
+
+
+class TestRule1And2:
+    def test_disk_dominates(self):
+        assert d(1, 10, 2, 20) is DataSource.DISK
+
+    def test_network_dominates(self):
+        assert d(2, 20, 1, 10) is DataSource.NETWORK
+
+
+class TestRule3:
+    """Network cheaper but slower."""
+
+    def test_accepts_small_slowdown_with_big_saving(self):
+        # 50% saving, 10% slowdown, loss rate 25%.
+        assert d(10, 100, 11, 50) is DataSource.NETWORK
+
+    def test_rejects_slowdown_over_loss_rate(self):
+        # 50% saving but 30% slowdown > 25%.
+        assert d(10, 100, 13, 50) is DataSource.DISK
+
+    def test_rejects_saving_below_slowdown(self):
+        # 5% saving, 10% slowdown: x < n.
+        assert d(10, 100, 11, 95) is DataSource.DISK
+
+    def test_boundary_slowdown_equal_loss_rate_rejected(self):
+        # slowdown == loss rate is NOT < loss rate.
+        assert d(10, 100, 12.5, 50) is DataSource.DISK
+
+    def test_boundary_saving_equals_slowdown_accepted(self):
+        # x == n passes the >= test (10% saving vs 10% slowdown).
+        assert d(10, 100, 11, 90) is DataSource.NETWORK
+
+    def test_zero_loss_rate_never_trades_time(self):
+        assert d(10, 100, 10.01, 1, loss=0.0) is DataSource.DISK
+
+
+class TestMirroredRule3:
+    """Disk cheaper but slower — the symmetric completion."""
+
+    def test_accepts_cheap_slow_disk(self):
+        assert d(11, 50, 10, 100) is DataSource.DISK
+
+    def test_rejects_disk_slowdown_over_loss_rate(self):
+        assert d(13, 50, 10, 100) is DataSource.NETWORK
+
+    def test_rejects_saving_below_slowdown(self):
+        assert d(11, 95, 10, 100) is DataSource.NETWORK
+
+
+class TestTies:
+    def test_equal_everything_prefers_disk(self):
+        assert d(10, 50, 10, 50) is DataSource.DISK
+
+    def test_equal_energy_faster_network(self):
+        assert d(10, 50, 9, 50) is DataSource.NETWORK
+
+    def test_zero_costs(self):
+        assert d(0, 0, 0, 0) is DataSource.DISK
+
+
+class TestValidation:
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionInputs(t_disk=-1, e_disk=0, t_network=0, e_network=0)
+
+    def test_negative_loss_rate_rejected(self):
+        with pytest.raises(ValueError):
+            d(1, 1, 1, 1, loss=-0.1)
+
+
+class TestOther:
+    def test_other_source(self):
+        assert DataSource.DISK.other is DataSource.NETWORK
+        assert DataSource.NETWORK.other is DataSource.DISK
+
+
+class TestTotality:
+    @given(st.floats(0, 1e6), st.floats(0, 1e6),
+           st.floats(0, 1e6), st.floats(0, 1e6),
+           st.floats(0, 2))
+    def test_always_returns_a_source(self, t_d, e_d, t_n, e_n, loss):
+        assert d(t_d, e_d, t_n, e_n, loss) in (DataSource.DISK,
+                                               DataSource.NETWORK)
+
+    @given(st.floats(0.001, 1e6), st.floats(0.001, 1e6),
+           st.floats(0.001, 1e6), st.floats(0.001, 1e6))
+    def test_dominant_option_always_wins(self, t_d, e_d, t_n, e_n):
+        choice = d(t_d, e_d, t_n, e_n)
+        if t_d < t_n and e_d < e_n:
+            assert choice is DataSource.DISK
+        elif t_n < t_d and e_n < e_d:
+            assert choice is DataSource.NETWORK
+
+    @given(st.floats(0.001, 1e6), st.floats(0.001, 1e6),
+           st.floats(0.001, 1e6), st.floats(0.001, 1e6))
+    def test_never_picks_slower_and_costlier(self, t_d, e_d, t_n, e_n):
+        choice = d(t_d, e_d, t_n, e_n)
+        if choice is DataSource.NETWORK:
+            assert not (t_n > t_d and e_n > e_d)
+        else:
+            assert not (t_d > t_n and e_d > e_n)

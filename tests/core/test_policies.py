@@ -1,0 +1,61 @@
+"""Unit tests for the policy interface and fixed baselines."""
+
+import pytest
+
+from repro.core.decision import DataSource
+from repro.core.policies import (
+    DiskOnlyPolicy,
+    RequestContext,
+    WnicOnlyPolicy,
+)
+from repro.traces.record import OpType
+
+
+def ctx(**kw):
+    base = dict(now=0.0, program="p", profiled=True, disk_pinned=False,
+                inode=1, offset=0, nbytes=4096, op=OpType.READ)
+    base.update(kw)
+    return RequestContext(**base)
+
+
+class TestBaselines:
+    def test_disk_only(self):
+        assert DiskOnlyPolicy().choose(ctx()) is DataSource.DISK
+
+    def test_wnic_only(self):
+        assert WnicOnlyPolicy().choose(ctx()) is DataSource.NETWORK
+
+    def test_names(self):
+        assert DiskOnlyPolicy().name == "Disk-only"
+        assert WnicOnlyPolicy().name == "WNIC-only"
+
+
+class TestRouteWrapper:
+    def test_pinning_overrides_choice(self):
+        policy = WnicOnlyPolicy()
+        assert policy.route(ctx(disk_pinned=True)) is DataSource.DISK
+
+    def test_tallies(self):
+        policy = WnicOnlyPolicy()
+        policy.route(ctx(nbytes=100))
+        policy.route(ctx(nbytes=200, disk_pinned=True))
+        assert policy.routed_requests[DataSource.NETWORK] == 1
+        assert policy.routed_requests[DataSource.DISK] == 1
+        assert policy.routed_bytes[DataSource.NETWORK] == 100
+        assert policy.routed_bytes[DataSource.DISK] == 200
+
+    def test_default_hooks_are_noops(self):
+        policy = DiskOnlyPolicy()
+        policy.on_tick(1.0)
+        policy.on_serviced(ctx(), DataSource.DISK, None)
+        policy.on_syscall(ctx(), 0.0, 0.1)
+        policy.on_external_disk_request(1.0)
+        policy.begin_run(0.0)
+        policy.end_run(1.0)
+
+
+class TestContext:
+    def test_context_is_frozen(self):
+        c = ctx()
+        with pytest.raises(AttributeError):
+            c.nbytes = 1

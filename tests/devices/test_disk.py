@@ -1,0 +1,168 @@
+"""Unit tests for the hard-disk model."""
+
+import pytest
+
+from repro.devices.disk import DiskState, HardDisk
+from repro.devices.specs import HITACHI_DK23DA
+from repro.sim.clock import MB
+
+
+class TestInitialState:
+    def test_starts_standby_by_default(self):
+        assert HardDisk().state == DiskState.STANDBY.value
+
+    def test_can_start_spinning(self):
+        disk = HardDisk(initially_standby=False)
+        assert disk.state == DiskState.IDLE.value
+
+
+class TestDpm:
+    def test_spins_down_after_timeout(self):
+        disk = HardDisk(initially_standby=False)
+        disk.advance_to(19.9)
+        assert disk.state == DiskState.IDLE.value
+        disk.advance_to(20.1)
+        assert disk.state == DiskState.STANDBY.value
+        assert disk.spindown_count == 1
+
+    def test_spindown_happens_at_exact_deadline(self):
+        disk = HardDisk(initially_standby=False)
+        disk.advance_to(100.0)
+        # Energy: 20 s idle + spin-down impulse (covering its 2.3 s
+        # window) + standby from 22.3 s on.
+        expected = 20.0 * 1.6 + 2.94 + (100.0 - 22.3) * 0.15
+        assert disk.energy(100.0) == pytest.approx(expected, rel=1e-6)
+
+    def test_activity_resets_timeout(self):
+        disk = HardDisk(initially_standby=False)
+        disk.advance_to(15.0)
+        disk.note_activity(15.0)
+        disk.advance_to(30.0)
+        assert disk.state == DiskState.IDLE.value   # 15 s since activity
+        disk.advance_to(40.0)
+        assert disk.state == DiskState.STANDBY.value
+
+    def test_spindown_deadline(self):
+        disk = HardDisk(initially_standby=False)
+        assert disk.spindown_deadline() == pytest.approx(20.0)
+        disk.service(5.0, 4096)
+        deadline = disk.spindown_deadline()
+        assert deadline is not None and deadline > 25.0
+        disk.advance_to(deadline + 1)
+        assert disk.spindown_deadline() is None     # standby now
+
+
+class TestService:
+    def test_spinup_on_demand(self):
+        disk = HardDisk()
+        r = disk.service(0.0, 1 * MB)
+        assert r.spun_up
+        assert r.start == pytest.approx(1.6)        # spin-up time
+        assert r.first_byte == pytest.approx(1.6 + 0.020)
+        assert r.completion == pytest.approx(
+            1.6 + 0.020 + 1 * MB / 35e6)
+        # spin-up energy + active power over positioning + transfer
+        active = (r.completion - 1.6) * 2.0
+        assert r.energy == pytest.approx(5.0 + active, rel=1e-6)
+
+    def test_warm_service_skips_spinup(self):
+        disk = HardDisk(initially_standby=False)
+        r = disk.service(1.0, 4096)
+        assert not r.spun_up
+        assert r.start == pytest.approx(1.0)
+
+    def test_back_to_back_requests_queue(self):
+        disk = HardDisk(initially_standby=False)
+        r1 = disk.service(0.0, 10 * MB)
+        r2 = disk.service(0.0, 10 * MB)
+        assert r2.start >= r1.completion
+
+    def test_returns_to_idle_after_service(self):
+        disk = HardDisk()
+        disk.service(0.0, 4096)
+        assert disk.state == DiskState.IDLE.value
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            HardDisk().service(0.0, -1)
+
+
+class TestPositioning:
+    def test_unknown_position_costs_average(self):
+        disk = HardDisk()
+        assert disk.positioning_time(None) == pytest.approx(0.020)
+
+    def test_contiguous_is_free(self):
+        disk = HardDisk(initially_standby=False)
+        disk.service(0.0, 8 * 4096, block=100, block_count=8)
+        assert disk.positioning_time(108) == 0.0
+
+    def test_near_seek_is_track_to_track(self):
+        disk = HardDisk(initially_standby=False)
+        disk.service(0.0, 4096, block=100, block_count=1)
+        assert disk.positioning_time(110) == pytest.approx(1.5e-3)
+        assert disk.positioning_time(101 + 64) == pytest.approx(1.5e-3)
+
+    def test_far_seek_scales_with_distance(self):
+        disk = HardDisk(initially_standby=False)
+        disk.service(0.0, 4096, block=0, block_count=1)
+        near = disk.positioning_time(10_000)
+        far = disk.positioning_time(5_000_000)
+        assert 1.5e-3 < near < far
+        assert far <= disk.spec.avg_seek_time * 2.5 + 7e-3
+
+    def test_full_span_seek_close_to_max(self):
+        disk = HardDisk(initially_standby=False)
+        disk.service(0.0, 4096, block=0, block_count=1)
+        total_blocks = HITACHI_DK23DA.capacity_bytes // 4096
+        t = disk.positioning_time(total_blocks)
+        # k = (13 - 1.5) * 1.5 = 17.25 ms at full span, + t2t + rotation
+        assert t == pytest.approx(1.5e-3 + 17.25e-3 + 7e-3, rel=1e-3)
+
+
+class TestForceSpinup:
+    def test_spins_up_to_idle(self):
+        disk = HardDisk()
+        ready = disk.force_spinup(0.0)
+        assert ready == pytest.approx(1.6)
+        assert disk.state == DiskState.IDLE.value
+        assert disk.spinup_count == 1
+        assert disk.energy(1.6) == pytest.approx(5.0 + 0.15 * 0,
+                                                 abs=5.2)
+
+    def test_noop_when_spinning(self):
+        disk = HardDisk(initially_standby=False)
+        assert disk.force_spinup(3.0) == 3.0
+        assert disk.spinup_count == 0
+
+
+class TestEstimate:
+    def test_estimate_matches_service_warm(self):
+        disk = HardDisk(initially_standby=False)
+        t, e = disk.estimate_service(1 * MB)
+        r = HardDisk(initially_standby=False).service(0.0, 1 * MB)
+        assert t == pytest.approx(r.completion)
+        assert e == pytest.approx(r.energy, rel=1e-6)
+
+    def test_estimate_includes_spinup_when_standby(self):
+        disk = HardDisk()
+        t_cold, e_cold = disk.estimate_service(4096)
+        t_warm, e_warm = disk.estimate_service(
+            4096, from_state=DiskState.IDLE.value)
+        assert t_cold - t_warm == pytest.approx(1.6)
+        assert e_cold > e_warm + 5.0 - 1e-9
+
+    def test_estimate_sequential_skips_seek(self):
+        disk = HardDisk(initially_standby=False)
+        t_seq, _ = disk.estimate_service(4096, sequential=True)
+        t_rand, _ = disk.estimate_service(4096)
+        assert t_rand - t_seq == pytest.approx(0.020)
+
+    def test_estimate_does_not_mutate(self):
+        disk = HardDisk()
+        disk.estimate_service(1 * MB)
+        assert disk.state == DiskState.STANDBY.value
+        assert disk.spinup_count == 0
+
+    def test_keep_alive_power(self):
+        assert HardDisk().keep_alive_power() == 1.6

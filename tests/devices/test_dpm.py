@@ -1,0 +1,157 @@
+"""Unit tests for spin-down timeout policies and the sleep state."""
+
+import pytest
+
+from repro.devices.disk import DiskState, HardDisk
+from repro.devices.dpm import AdaptiveTimeout, FixedTimeout
+from repro.devices.specs import HITACHI_DK23DA
+
+
+class TestFixedTimeout:
+    def test_constant(self):
+        policy = FixedTimeout(20.0)
+        assert policy.timeout() == 20.0
+        policy.observe_quiet_period(1.0, 5.5)   # ignored
+        assert policy.timeout() == 20.0
+
+    def test_clone_is_self(self):
+        policy = FixedTimeout(20.0)
+        assert policy.clone() is policy
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedTimeout(0.0)
+
+
+class TestAdaptiveTimeout:
+    def test_grows_after_premature_spindown(self):
+        policy = AdaptiveTimeout(initial=20.0, ceiling=120.0)
+        policy.observe_quiet_period(quiet=2.0, breakeven=5.5)
+        assert policy.timeout() == 40.0
+        assert policy.premature_count == 1
+
+    def test_shrinks_after_long_quiet(self):
+        policy = AdaptiveTimeout(initial=20.0, floor=2.0)
+        policy.observe_quiet_period(quiet=60.0, breakeven=5.5)
+        assert policy.timeout() == 10.0
+        assert policy.profitable_count == 1
+
+    def test_moderate_quiet_leaves_timeout(self):
+        policy = AdaptiveTimeout(initial=20.0)
+        policy.observe_quiet_period(quiet=10.0, breakeven=5.5)
+        assert policy.timeout() == 20.0
+
+    def test_bounds_respected(self):
+        policy = AdaptiveTimeout(initial=20.0, floor=10.0, ceiling=30.0)
+        for _ in range(5):
+            policy.observe_quiet_period(1.0, 5.5)
+        assert policy.timeout() == 30.0
+        for _ in range(5):
+            policy.observe_quiet_period(1000.0, 5.5)
+        assert policy.timeout() == 10.0
+
+    def test_clone_is_independent(self):
+        policy = AdaptiveTimeout(initial=20.0)
+        clone = policy.clone()
+        clone.observe_quiet_period(1.0, 5.5)
+        assert policy.timeout() == 20.0
+        assert clone.timeout() == 40.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(initial=1.0, floor=2.0)
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(grow=1.0)
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(shrink=1.5)
+        with pytest.raises(ValueError):
+            AdaptiveTimeout(profit_margin=0.5)
+
+
+class TestDiskWithAdaptivePolicy:
+    def test_premature_cycles_lengthen_timeout(self):
+        """Requests every 22 s under a 20 s timeout make every quiet
+        period premature (~2 s < 5.5 s break-even): the adaptive policy
+        must back the timeout off until spin-downs stop."""
+        policy = AdaptiveTimeout(initial=20.0, ceiling=120.0)
+        disk = HardDisk(initially_standby=False, spindown_policy=policy)
+        t = 0.0
+        for _ in range(6):
+            t += 22.0
+            disk.service(t, 4096)
+        assert policy.premature_count >= 1
+        assert policy.timeout() > 20.0
+
+    def test_adaptive_beats_fixed_on_hostile_cadence(self):
+        """Energy with the adapted timeout must beat the fixed one on
+        the pathological just-past-timeout request pattern."""
+        def run(policy):
+            disk = HardDisk(initially_standby=False,
+                            spindown_policy=policy)
+            t = 0.0
+            for _ in range(20):
+                t += 22.0
+                disk.service(t, 4096)
+            return disk.energy(t)
+        fixed = run(FixedTimeout(20.0))
+        adaptive = run(AdaptiveTimeout(initial=20.0))
+        assert adaptive < fixed
+
+    def test_clone_does_not_share_policy(self):
+        policy = AdaptiveTimeout(initial=20.0)
+        disk = HardDisk(initially_standby=False, spindown_policy=policy)
+        clone = disk.clone()
+        assert clone.spindown_policy is not disk.spindown_policy
+
+
+class TestSleepState:
+    def test_sleep_disabled_by_default(self):
+        disk = HardDisk(initially_standby=False)
+        disk.advance_to(10_000.0)
+        assert disk.state == DiskState.STANDBY.value
+        assert disk.sleep_count == 0
+
+    def test_drops_to_sleep_after_standby_dwell(self):
+        spec = HITACHI_DK23DA.with_sleep(60.0)
+        disk = HardDisk(spec, initially_standby=False)
+        disk.advance_to(50.0)                 # spun down at 20 s
+        assert disk.state == DiskState.STANDBY.value
+        disk.advance_to(200.0)
+        assert disk.state == DiskState.SLEEP.value
+        assert disk.sleep_count == 1
+
+    def test_sleep_saves_energy_on_long_quiet(self):
+        base = HardDisk(HITACHI_DK23DA, initially_standby=False)
+        sleepy = HardDisk(HITACHI_DK23DA.with_sleep(60.0),
+                          initially_standby=False)
+        for d in (base, sleepy):
+            d.advance_to(10_000.0)
+        assert sleepy.energy(10_000.0) < base.energy(10_000.0)
+
+    def test_wake_from_sleep_costs_hard_reset(self):
+        spec = HITACHI_DK23DA.with_sleep(60.0)
+        disk = HardDisk(spec, initially_standby=False)
+        disk.advance_to(500.0)
+        assert disk.state == DiskState.SLEEP.value
+        r = disk.service(500.0, 4096)
+        assert r.spun_up
+        assert r.start == pytest.approx(500.0 + spec.wake_time)
+        assert r.energy >= spec.wake_energy
+
+    def test_estimate_from_sleep(self):
+        spec = HITACHI_DK23DA.with_sleep(60.0)
+        disk = HardDisk(spec)
+        t_sleep, e_sleep = disk.estimate_service(
+            4096, from_state=DiskState.SLEEP.value)
+        t_standby, e_standby = disk.estimate_service(
+            4096, from_state=DiskState.STANDBY.value)
+        assert t_sleep > t_standby
+        assert e_sleep > e_standby
+
+    def test_force_spinup_from_sleep(self):
+        spec = HITACHI_DK23DA.with_sleep(60.0)
+        disk = HardDisk(spec, initially_standby=False)
+        disk.advance_to(500.0)
+        ready = disk.force_spinup(500.0)
+        assert ready == pytest.approx(500.0 + spec.wake_time)
+        assert disk.state == DiskState.IDLE.value

@@ -1,0 +1,119 @@
+"""Unit and property tests for the disk layout."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.layout import BLOCK_SIZE, DiskLayout, bytes_to_blocks
+
+
+class TestBytesToBlocks:
+    def test_exact(self):
+        assert bytes_to_blocks(BLOCK_SIZE * 3) == 3
+
+    def test_rounds_up(self):
+        assert bytes_to_blocks(1) == 1
+        assert bytes_to_blocks(BLOCK_SIZE + 1) == 2
+
+    def test_zero(self):
+        assert bytes_to_blocks(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bytes_to_blocks(-1)
+
+
+class TestPlacement:
+    def test_sequential_registration(self):
+        layout = DiskLayout(seed=1, max_gap_blocks=0)
+        a = layout.add_file(1, 10 * BLOCK_SIZE)
+        b = layout.add_file(2, 4 * BLOCK_SIZE)
+        assert a.start_block == 0
+        assert b.start_block == a.end_block    # no gap configured
+
+    def test_gaps_are_bounded(self):
+        layout = DiskLayout(seed=1, max_gap_blocks=8)
+        prev_end = layout.add_file(1, BLOCK_SIZE).end_block
+        for inode in range(2, 50):
+            ext = layout.add_file(inode, BLOCK_SIZE)
+            gap = ext.start_block - prev_end
+            assert 0 <= gap <= 8
+            prev_end = ext.end_block
+
+    def test_zero_byte_file_still_gets_a_block(self):
+        layout = DiskLayout(seed=1)
+        assert layout.add_file(1, 0).nblocks == 1
+
+    def test_reregistration_same_size_is_idempotent(self):
+        layout = DiskLayout(seed=1)
+        a = layout.add_file(1, 5 * BLOCK_SIZE)
+        b = layout.add_file(1, 5 * BLOCK_SIZE)
+        assert a == b
+        assert len(layout) == 1
+
+    def test_reregistration_different_size_rejected(self):
+        layout = DiskLayout(seed=1)
+        layout.add_file(1, 5 * BLOCK_SIZE)
+        with pytest.raises(ValueError):
+            layout.add_file(1, 50 * BLOCK_SIZE)
+
+    def test_capacity_enforced(self):
+        layout = DiskLayout(seed=1, max_gap_blocks=0, capacity_blocks=10)
+        layout.add_file(1, 8 * BLOCK_SIZE)
+        with pytest.raises(ValueError):
+            layout.add_file(2, 8 * BLOCK_SIZE)
+
+    def test_deterministic_under_seed(self):
+        def build(seed):
+            layout = DiskLayout(seed=seed)
+            return [layout.add_file(i, i * BLOCK_SIZE).start_block
+                    for i in range(1, 30)]
+        assert build(5) == build(5)
+        assert build(5) != build(6)
+
+
+class TestBlockOf:
+    def test_block_of_offsets(self):
+        layout = DiskLayout(seed=1, max_gap_blocks=0)
+        layout.add_file(1, 10 * BLOCK_SIZE)
+        assert layout.block_of(1, 0) == 0
+        assert layout.block_of(1, BLOCK_SIZE) == 1
+        assert layout.block_of(1, BLOCK_SIZE - 1) == 0
+
+    def test_offset_past_eof_rejected(self):
+        layout = DiskLayout(seed=1)
+        layout.add_file(1, BLOCK_SIZE)
+        with pytest.raises(ValueError):
+            layout.block_of(1, 2 * BLOCK_SIZE)
+
+    def test_unknown_inode_raises(self):
+        with pytest.raises(KeyError):
+            DiskLayout(seed=1).get(99)
+
+    def test_contains(self):
+        layout = DiskLayout(seed=1)
+        layout.add_file(1, BLOCK_SIZE)
+        assert 1 in layout
+        assert 2 not in layout
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 1_000_000), min_size=1, max_size=60),
+           st.integers(0, 2 ** 31))
+    def test_no_two_files_overlap(self, sizes, seed):
+        layout = DiskLayout(seed=seed, max_gap_blocks=16)
+        for inode, size in enumerate(sizes, start=1):
+            layout.add_file(inode, size)
+        span = layout.span()
+        # span() is ordered by start block: each file must end before
+        # the next begins.
+        for i in range(len(span) - 1):
+            assert span[i][1] + span[i][2] <= span[i + 1][1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(1, 100_000), min_size=1, max_size=40))
+    def test_used_blocks_bounds_everything(self, sizes):
+        layout = DiskLayout(seed=3)
+        for inode, size in enumerate(sizes, start=1):
+            ext = layout.add_file(inode, size)
+            assert ext.end_block <= layout.used_blocks

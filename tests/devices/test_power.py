@@ -1,0 +1,120 @@
+"""Unit tests for the generic power-state machine."""
+
+import pytest
+
+from repro.devices.power import PowerStateMachine, StateSpec, TransitionSpec
+
+
+def machine(initial="low"):
+    return PowerStateMachine(
+        name="dev",
+        states=[StateSpec("low", 0.5), StateSpec("high", 2.0)],
+        transitions=[
+            TransitionSpec("low", "high", time=1.0, energy=3.0),
+            TransitionSpec("high", "low", time=0.5, energy=1.0),
+        ],
+        initial_state=initial,
+    )
+
+
+class TestConstruction:
+    def test_duplicate_states_rejected(self):
+        with pytest.raises(ValueError):
+            PowerStateMachine("d", [StateSpec("a", 1), StateSpec("a", 2)],
+                              [], "a")
+
+    def test_unknown_initial_rejected(self):
+        with pytest.raises(ValueError):
+            PowerStateMachine("d", [StateSpec("a", 1)], [], "b")
+
+    def test_transition_to_unknown_state_rejected(self):
+        with pytest.raises(ValueError):
+            PowerStateMachine("d", [StateSpec("a", 1)],
+                              [TransitionSpec("a", "zz", 0, 0)], "a")
+
+    def test_negative_state_power_rejected(self):
+        with pytest.raises(ValueError):
+            StateSpec("a", -1.0)
+
+    def test_negative_transition_cost_rejected(self):
+        with pytest.raises(ValueError):
+            TransitionSpec("a", "b", time=-1, energy=0)
+
+
+class TestEnergyAccounting:
+    def test_idle_integration(self):
+        m = machine()
+        m.advance_to(10.0)
+        assert m.energy(10.0) == pytest.approx(5.0)   # 0.5 W x 10 s
+
+    def test_transition_adds_impulse_and_switches_draw(self):
+        m = machine()
+        done = m.transition(2.0, "high")
+        assert done == pytest.approx(3.0)
+        m.advance_to(5.0)
+        # 0.5*2 (low) + 3.0 (impulse covering [2,3)) + 2.0*2 (high
+        # from transition completion at t=3)
+        assert m.energy(5.0) == pytest.approx(1.0 + 3.0 + 4.0)
+        assert m.state == "high"
+        assert m.busy_until == pytest.approx(3.0)
+
+    def test_illegal_transition_rejected(self):
+        m = machine()
+        with pytest.raises(ValueError):
+            m.transition(0.0, "low")   # no self-loop defined
+
+    def test_residency(self):
+        m = machine()
+        m.transition(4.0, "high")
+        res = m.residency(10.0)
+        assert res["low"] == pytest.approx(4.0)
+        assert res["high"] == pytest.approx(6.0)
+
+
+class TestClone:
+    def test_clone_is_independent(self):
+        m = machine()
+        m.advance_to(5.0)
+        c = m.clone()
+        c.transition(5.0, "high")
+        c.advance_to(20.0)
+        assert m.state == "low"
+        assert c.state == "high"
+        assert m.energy(5.0) == pytest.approx(2.5)
+        assert c.energy(20.0) > m.energy(5.0)
+
+    def test_clone_preserves_operating_point(self):
+        m = machine()
+        m.transition(1.0, "high")
+        m.note_activity(3.5)
+        m.advance_to(4.0)
+        c = m.clone()
+        assert c.state == m.state
+        assert c.last_activity == m.last_activity
+        assert c.busy_until == m.busy_until
+        # The clone's meter is fresh (delta semantics): advancing both
+        # by the same interval must accrue identical energy.
+        m0, c0 = m.energy(4.0), c.energy(4.0)
+        m.advance_to(10.0)
+        c.advance_to(10.0)
+        assert m.energy(10.0) - m0 == pytest.approx(c.energy(10.0) - c0)
+
+
+class TestActivityTracking:
+    def test_note_activity_monotone(self):
+        m = machine()
+        m.note_activity(5.0)
+        m.note_activity(3.0)
+        assert m.last_activity == 5.0
+
+    def test_mark_busy_until_monotone(self):
+        m = machine()
+        m.mark_busy_until(7.0)
+        m.mark_busy_until(2.0)
+        assert m.busy_until == 7.0
+
+    def test_advance_clamps_backwards_time(self):
+        m = machine()
+        m.advance_to(10.0)
+        m.advance_to(3.0)      # clamped, no error
+        assert m.meter.last_time == 10.0

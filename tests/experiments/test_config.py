@@ -1,0 +1,56 @@
+"""Unit tests for experiment configuration and sweeps."""
+
+import pytest
+
+from repro.experiments.config import (
+    BANDWIDTH_SWEEP_BPS,
+    FIXED_BANDWIDTH_BPS,
+    FIXED_LATENCY,
+    LATENCY_SWEEP,
+    ExperimentConfig,
+)
+
+
+class TestSweeps:
+    def test_latency_sweep_covers_paper_range(self):
+        assert LATENCY_SWEEP[0] == 0.0
+        assert 0.015 in [pytest.approx(v) for v in LATENCY_SWEEP] or \
+            any(abs(v - 0.015) < 1e-9 for v in LATENCY_SWEEP)
+        assert LATENCY_SWEEP[-1] >= 0.020
+        assert list(LATENCY_SWEEP) == sorted(LATENCY_SWEEP)
+
+    def test_bandwidth_sweep_is_802_11b(self):
+        assert [b * 8 / 1e6 for b in BANDWIDTH_SWEEP_BPS] == \
+            pytest.approx([1.0, 2.0, 5.5, 11.0])
+
+    def test_fixed_counterparts(self):
+        assert FIXED_BANDWIDTH_BPS == BANDWIDTH_SWEEP_BPS[-1]
+        assert FIXED_LATENCY == pytest.approx(1e-3)
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = ExperimentConfig()
+        assert cfg.loss_rate == 0.25
+        assert cfg.stage_length == 40.0
+        assert cfg.disk_spec.name.startswith("Hitachi")
+        assert cfg.wnic_spec.name.startswith("Cisco")
+
+    def test_latency_points(self):
+        cfg = ExperimentConfig()
+        points = cfg.latency_points()
+        assert len(points) == len(LATENCY_SWEEP)
+        assert all(p.bandwidth_bps == FIXED_BANDWIDTH_BPS for p in points)
+        assert [p.latency for p in points] == list(LATENCY_SWEEP)
+
+    def test_bandwidth_points(self):
+        cfg = ExperimentConfig()
+        points = cfg.bandwidth_points()
+        assert len(points) == len(BANDWIDTH_SWEEP_BPS)
+        assert all(p.latency == FIXED_LATENCY for p in points)
+
+    def test_wnic_at(self):
+        cfg = ExperimentConfig()
+        spec = cfg.wnic_at(latency=0.005)
+        assert spec.latency == pytest.approx(0.005)
+        assert spec.bandwidth_bps == cfg.wnic_spec.bandwidth_bps

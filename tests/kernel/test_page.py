@@ -1,0 +1,145 @@
+"""Unit and property tests for page/extent algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.page import (
+    MAX_READAHEAD_PAGES,
+    PAGE_SIZE,
+    Extent,
+    PageId,
+    coalesce,
+    pages_of_range,
+    runs_from_pages,
+    split_max_pages,
+)
+
+
+class TestExtent:
+    def test_basic_properties(self):
+        e = Extent(1, 4, 3)
+        assert e.end == 7
+        assert e.nbytes == 3 * PAGE_SIZE
+        assert list(e.pages()) == [PageId(1, 4), PageId(1, 5), PageId(1, 6)]
+
+    def test_zero_pages_rejected(self):
+        with pytest.raises(ValueError):
+            Extent(1, 0, 0)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            Extent(1, -1, 1)
+
+    def test_intersects(self):
+        assert Extent(1, 0, 4).intersects(Extent(1, 3, 2))
+        assert not Extent(1, 0, 4).intersects(Extent(1, 4, 2))
+        assert not Extent(1, 0, 4).intersects(Extent(2, 0, 4))
+
+    def test_merge_adjacent(self):
+        merged = Extent(1, 0, 4).merge(Extent(1, 4, 2))
+        assert merged == Extent(1, 0, 6)
+
+    def test_merge_overlapping(self):
+        merged = Extent(1, 0, 4).merge(Extent(1, 2, 5))
+        assert merged == Extent(1, 0, 7)
+
+    def test_merge_disjoint_rejected(self):
+        with pytest.raises(ValueError):
+            Extent(1, 0, 2).merge(Extent(1, 5, 2))
+        with pytest.raises(ValueError):
+            Extent(1, 0, 2).merge(Extent(2, 2, 2))
+
+    def test_clamp(self):
+        assert Extent(1, 0, 10).clamp(4) == Extent(1, 0, 4)
+        assert Extent(1, 5, 5).clamp(5) is None
+        assert Extent(1, 0, 3).clamp(10) == Extent(1, 0, 3)
+
+
+class TestPagesOfRange:
+    def test_page_aligned(self):
+        assert pages_of_range(1, 0, PAGE_SIZE) == Extent(1, 0, 1)
+        assert pages_of_range(1, PAGE_SIZE, 2 * PAGE_SIZE) == Extent(1, 1, 2)
+
+    def test_straddles_boundary(self):
+        assert pages_of_range(1, PAGE_SIZE - 1, 2) == Extent(1, 0, 2)
+
+    def test_sub_page(self):
+        assert pages_of_range(1, 100, 50) == Extent(1, 0, 1)
+
+    def test_zero_size_is_none(self):
+        assert pages_of_range(1, 0, 0) is None
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pages_of_range(1, -1, 5)
+
+
+class TestCoalesce:
+    def test_merges_adjacent_runs(self):
+        out = coalesce([Extent(1, 4, 2), Extent(1, 0, 4)])
+        assert out == [Extent(1, 0, 6)]
+
+    def test_keeps_disjoint_runs(self):
+        out = coalesce([Extent(1, 0, 2), Extent(1, 8, 2)])
+        assert out == [Extent(1, 0, 2), Extent(1, 8, 2)]
+
+    def test_different_files_never_merge(self):
+        out = coalesce([Extent(1, 0, 2), Extent(2, 2, 2)])
+        assert len(out) == 2
+
+    @given(st.lists(st.tuples(st.integers(1, 3), st.integers(0, 50),
+                              st.integers(1, 8)), max_size=30))
+    def test_coalesce_preserves_page_set(self, raw):
+        extents = [Extent(i, s, n) for i, s, n in raw]
+        pages_before = {p for e in extents for p in e.pages()}
+        out = coalesce(extents)
+        pages_after = {p for e in out for p in e.pages()}
+        assert pages_before == pages_after
+        # Output has no mergeable neighbours.
+        for a, b in zip(out, out[1:]):
+            assert not a.adjacent_or_overlapping(b)
+
+
+class TestRunsFromPages:
+    def test_groups_contiguous(self):
+        pages = [PageId(1, 0), PageId(1, 1), PageId(1, 3), PageId(2, 4)]
+        assert runs_from_pages(pages) == [
+            Extent(1, 0, 2), Extent(1, 3, 1), Extent(2, 4, 1)]
+
+    def test_deduplicates(self):
+        pages = [PageId(1, 0), PageId(1, 0), PageId(1, 1)]
+        assert runs_from_pages(pages) == [Extent(1, 0, 2)]
+
+    @given(st.sets(st.tuples(st.integers(1, 2), st.integers(0, 100)),
+                   max_size=50))
+    def test_round_trip(self, raw):
+        pages = {PageId(i, n) for i, n in raw}
+        runs = runs_from_pages(pages)
+        assert {p for e in runs for p in e.pages()} == pages
+
+
+class TestSplitMaxPages:
+    def test_within_limit_unchanged(self):
+        assert split_max_pages(Extent(1, 0, 10), 32) == [Extent(1, 0, 10)]
+
+    def test_splits_at_limit(self):
+        out = split_max_pages(Extent(1, 0, 70), 32)
+        assert out == [Extent(1, 0, 32), Extent(1, 32, 32),
+                       Extent(1, 64, 6)]
+
+    def test_max_readahead_is_128kb(self):
+        assert MAX_READAHEAD_PAGES * PAGE_SIZE == 128 * 1024
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            split_max_pages(Extent(1, 0, 5), 0)
+
+    @given(st.integers(1, 200), st.integers(1, 64))
+    def test_split_preserves_coverage(self, npages, limit):
+        ext = Extent(1, 0, npages)
+        parts = split_max_pages(ext, limit)
+        assert all(p.npages <= limit for p in parts)
+        assert sum(p.npages for p in parts) == npages
+        assert parts[0].start == 0
+        for a, b in zip(parts, parts[1:]):
+            assert a.end == b.start

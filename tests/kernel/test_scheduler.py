@@ -1,0 +1,84 @@
+"""Unit tests for the C-SCAN elevator."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel.page import Extent
+from repro.kernel.scheduler import CScanScheduler, DiskExtent
+
+
+def req(block, npages=1, inode=1, start=0):
+    return DiskExtent(extent=Extent(inode, start, npages),
+                      start_block=block)
+
+
+class TestOrdering:
+    def test_ascending_from_head(self):
+        s = CScanScheduler(head_block=50)
+        s.add_all([req(10), req(60), req(55), req(90)])
+        order = [r.start_block for r in s.drain()]
+        assert order == [55, 60, 90, 10]      # sweep up, then wrap
+
+    def test_pure_ascending_when_all_ahead(self):
+        s = CScanScheduler(head_block=0)
+        s.add_all([req(30), req(10), req(20)])
+        assert [r.start_block for r in s.drain()] == [10, 20, 30]
+
+    def test_wrap_to_lowest(self):
+        s = CScanScheduler(head_block=100)
+        s.add_all([req(10), req(5), req(40)])
+        assert [r.start_block for r in s.drain()] == [5, 10, 40]
+
+    def test_head_tracks_request_start(self):
+        s = CScanScheduler(head_block=0)
+        s.add(req(10, npages=5))
+        list(s.drain())
+        assert s.head_block == 10
+
+    def test_equal_blocks_dispatch_back_to_back(self):
+        s = CScanScheduler(head_block=1)
+        s.add_all([req(0), req(0), req(1), req(1)])
+        assert [r.start_block for r in s.drain()] == [1, 1, 0, 0]
+
+    def test_order_convenience(self):
+        s = CScanScheduler()
+        batch = [req(30), req(10)]
+        ordered = s.order(batch)
+        assert [r.start_block for r in ordered] == [10, 30]
+        assert len(s) == 0
+
+
+class TestValidation:
+    def test_negative_head_rejected(self):
+        with pytest.raises(ValueError):
+            CScanScheduler(head_block=-1)
+
+    def test_negative_block_rejected(self):
+        with pytest.raises(ValueError):
+            req(-5)
+
+    def test_len(self):
+        s = CScanScheduler()
+        s.add(req(1))
+        s.add(req(2))
+        assert len(s) == 2
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=60),
+           st.integers(0, 10_000))
+    def test_drain_yields_everything_once(self, blocks, head):
+        s = CScanScheduler(head_block=head)
+        s.add_all(req(b) for b in blocks)
+        out = [r.start_block for r in s.drain()]
+        assert sorted(out) == sorted(blocks)
+
+    @given(st.lists(st.integers(0, 10_000), min_size=2, max_size=60),
+           st.integers(0, 10_000))
+    def test_single_direction_change_at_most(self, blocks, head):
+        """A C-SCAN sweep goes up, wraps at most once, goes up again."""
+        s = CScanScheduler(head_block=head)
+        s.add_all(req(b) for b in blocks)
+        out = [r.start_block for r in s.drain()]
+        wraps = sum(1 for a, b in zip(out, out[1:]) if b < a)
+        assert wraps <= 1

@@ -1,0 +1,146 @@
+"""Unit tests for the VFS read/write service path."""
+
+import pytest
+
+from repro.kernel.page import PAGE_SIZE, Extent
+from repro.kernel.vfs import VirtualFileSystem
+from repro.sim.clock import MB
+
+
+def vfs_with_file(inode=1, size=10 * MB, memory=4 * MB):
+    v = VirtualFileSystem(memory)
+    v.register_file(inode, size)
+    return v
+
+
+class TestReadPath:
+    def test_cold_read_produces_fetch(self):
+        v = vfs_with_file()
+        plan = v.read(1, 1, 0, 64 * 1024, now=0.0)
+        assert not plan.fully_cached
+        assert plan.miss_pages == 16
+        assert plan.hit_pages == 0
+        assert plan.fetch_bytes >= 64 * 1024
+
+    def test_fetch_extents_capped_at_readahead_window(self):
+        v = vfs_with_file()
+        plan = v.read(1, 1, 0, 1 * MB, now=0.0)
+        assert all(e.npages <= 32 for e in plan.fetch_extents)
+
+    def test_completed_fetch_makes_reread_cached(self):
+        v = vfs_with_file()
+        plan = v.read(1, 1, 0, 64 * 1024, now=0.0)
+        for e in plan.fetch_extents:
+            v.complete_fetch(e, now=0.0)
+        plan2 = v.read(1, 1, 0, 64 * 1024, now=1.0)
+        assert plan2.fully_cached
+        assert plan2.hit_pages == 16
+
+    def test_readahead_prefetches_beyond_demand(self):
+        v = vfs_with_file()
+        plan = v.read(1, 1, 0, 16 * 1024, now=0.0)    # 4 demand pages
+        for e in plan.fetch_extents:
+            v.complete_fetch(e, now=0.0)
+        # The next sequential pages are already resident.
+        plan2 = v.read(1, 1, 16 * 1024, 16 * 1024, now=0.1)
+        assert plan2.hit_pages > 0
+
+    def test_zero_byte_read(self):
+        v = vfs_with_file()
+        plan = v.read(1, 1, 0, 0, now=0.0)
+        assert plan.fully_cached
+        assert plan.demand_extent is None
+
+    def test_unregistered_inode_rejected(self):
+        v = VirtualFileSystem()
+        with pytest.raises(KeyError):
+            v.read(1, 99, 0, 4096, now=0.0)
+
+    def test_partial_hit_fetches_only_missing(self):
+        v = vfs_with_file()
+        plan = v.read(1, 1, 0, 8 * PAGE_SIZE, now=0.0)
+        for e in plan.fetch_extents:
+            v.complete_fetch(e, now=0.0)
+        # Random read overlapping cached head and uncached tail.
+        plan2 = v.read(1, 1, 4 * PAGE_SIZE, 500 * PAGE_SIZE, now=1.0)
+        fetched = {p for e in plan2.fetch_extents for p in e.pages()}
+        # Already-resident demand pages are not fetched again.
+        cached_demand = plan2.hit_pages
+        assert cached_demand > 0
+        assert all(p.index >= 4 for p in fetched)
+
+
+class TestWritePath:
+    def test_write_dirties_without_device_io(self):
+        v = vfs_with_file()
+        forced = v.write(1, 1, 0, 64 * 1024, now=0.0)
+        assert forced == []
+        assert v.writeback.dirty_count == 16
+
+    def test_write_extends_file(self):
+        v = VirtualFileSystem()
+        v.register_file(1, 0)
+        v.write(1, 1, 0, 4096, now=0.0)
+        assert v.file_size(1) == 4096
+
+    def test_write_to_unknown_inode_registers_it(self):
+        v = VirtualFileSystem()
+        v.write(1, 55, 0, 8192, now=0.0)
+        assert v.file_size(55) == 8192
+
+    def test_writeback_plan_flushes_on_active_disk(self):
+        v = vfs_with_file()
+        v.write(1, 1, 0, 64 * 1024, now=0.0)
+        extents = v.plan_writeback(1.0, disk_active=True)
+        assert sum(e.npages for e in extents) == 16
+        assert v.writeback.dirty_count == 0
+
+    def test_writeback_defers_on_standby_disk(self):
+        v = vfs_with_file()
+        v.write(1, 1, 0, 64 * 1024, now=0.0)
+        assert v.plan_writeback(1.0, disk_active=False) == []
+
+    def test_overwrite_of_cached_page_dirties_it(self):
+        v = vfs_with_file()
+        plan = v.read(1, 1, 0, PAGE_SIZE, now=0.0)
+        for e in plan.fetch_extents:
+            v.complete_fetch(e, now=0.0)
+        v.write(1, 1, 0, 100, now=1.0)
+        from repro.kernel.page import PageId
+        assert v.cache.is_dirty(PageId(1, 0))
+
+
+class TestResidency:
+    def test_resident_bytes(self):
+        v = vfs_with_file()
+        assert v.resident_bytes(1, 0, 64 * 1024) == 0
+        plan = v.read(1, 1, 0, 64 * 1024, now=0.0)
+        for e in plan.fetch_extents:
+            v.complete_fetch(e, now=0.0)
+        assert v.resident_bytes(1, 0, 64 * 1024) == 64 * 1024
+
+    def test_resident_bytes_zero_size(self):
+        v = vfs_with_file()
+        assert v.resident_bytes(1, 0, 0) == 0
+
+
+class TestNamespace:
+    def test_register_grows_only(self):
+        v = VirtualFileSystem()
+        v.register_file(1, 100)
+        v.register_file(1, 50)
+        assert v.file_size(1) == 100
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualFileSystem().register_file(1, -1)
+
+    def test_known_files(self):
+        v = VirtualFileSystem()
+        v.register_file(3, 10)
+        v.register_file(1, 10)
+        assert sorted(v.known_files()) == [1, 3]
+
+    def test_bad_memory_size_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualFileSystem(0)

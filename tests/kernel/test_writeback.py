@@ -1,0 +1,117 @@
+"""Unit tests for laptop-mode write-back."""
+
+import pytest
+
+from repro.kernel.cache import TwoQCache
+from repro.kernel.page import PageId
+from repro.kernel.writeback import LaptopModeWriteback, WritebackConfig
+
+
+def setup(capacity=64, **cfg):
+    cache = TwoQCache(capacity)
+    wb = LaptopModeWriteback(cache, WritebackConfig(**cfg) if cfg else None)
+    return cache, wb
+
+
+def dirty(cache, wb, inode, index, now):
+    p = PageId(inode, index)
+    cache.insert(p, dirty=True, now=now)
+    wb.note_dirty(p, now)
+    return p
+
+
+class TestConfig:
+    def test_defaults(self):
+        cfg = WritebackConfig()
+        assert cfg.max_age == 30.0
+        assert cfg.eager_on_active
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WritebackConfig(max_age=0)
+        with pytest.raises(ValueError):
+            WritebackConfig(dirty_limit_pages=0)
+
+
+class TestFlushPolicy:
+    def test_nothing_dirty_nothing_flushed(self):
+        _, wb = setup()
+        assert wb.plan_flush(10.0, disk_active=True) == []
+
+    def test_eager_flush_on_active_disk(self):
+        cache, wb = setup()
+        dirty(cache, wb, 1, 0, now=1.0)
+        extents = wb.plan_flush(1.5, disk_active=True)
+        assert len(extents) == 1
+        assert wb.dirty_count == 0
+        assert not cache.is_dirty(PageId(1, 0))
+
+    def test_standby_disk_defers_young_pages(self):
+        cache, wb = setup()
+        dirty(cache, wb, 1, 0, now=1.0)
+        assert wb.plan_flush(5.0, disk_active=False) == []
+        assert wb.dirty_count == 1
+
+    def test_age_forces_flush_even_on_standby(self):
+        cache, wb = setup(max_age=30.0)
+        dirty(cache, wb, 1, 0, now=0.0)
+        assert wb.plan_flush(29.0, disk_active=False) == []
+        extents = wb.plan_flush(31.0, disk_active=False)
+        assert len(extents) == 1
+
+    def test_flush_takes_everything_once_due(self):
+        """Laptop mode flushes ALL dirty data to maximise quiet time."""
+        cache, wb = setup(max_age=30.0)
+        dirty(cache, wb, 1, 0, now=0.0)     # old page
+        dirty(cache, wb, 1, 1, now=29.0)    # young page
+        extents = wb.plan_flush(31.0, disk_active=False)
+        assert sum(e.npages for e in extents) == 2
+
+    def test_dirty_limit_trips(self):
+        cache, wb = setup(capacity=256, dirty_limit_pages=4)
+        for i in range(4):
+            dirty(cache, wb, 1, i, now=1.0)
+        extents = wb.plan_flush(1.1, disk_active=False)
+        assert sum(e.npages for e in extents) == 4
+
+    def test_contiguous_pages_flush_as_one_extent(self):
+        cache, wb = setup()
+        for i in range(5):
+            dirty(cache, wb, 1, i, now=1.0)
+        extents = wb.plan_flush(2.0, disk_active=True)
+        assert len(extents) == 1
+        assert extents[0].npages == 5
+
+
+class TestBookkeeping:
+    def test_next_forced_flush(self):
+        cache, wb = setup(max_age=30.0)
+        assert wb.next_forced_flush() is None
+        dirty(cache, wb, 1, 0, now=5.0)
+        assert wb.next_forced_flush() == pytest.approx(35.0)
+
+    def test_oldest_dirty_age(self):
+        cache, wb = setup()
+        dirty(cache, wb, 1, 0, now=2.0)
+        dirty(cache, wb, 1, 1, now=6.0)
+        assert wb.oldest_dirty_age(10.0) == pytest.approx(8.0)
+
+    def test_evicted_dirty_pages_dropped_from_table(self):
+        """Pages flushed by cache eviction must not be re-flushed."""
+        cache, wb = setup(capacity=4)
+        for i in range(10):                  # forces dirty evictions
+            p = PageId(1, i)
+            evicted = cache.insert(p, dirty=True, now=float(i))
+            wb.note_dirty(p, float(i))
+            for q in evicted:
+                wb.note_clean(q)
+        extents = wb.plan_flush(100.0, disk_active=True)
+        flushed = {p for e in extents for p in e.pages()}
+        assert all(p in cache for p in flushed)
+
+    def test_flush_counters(self):
+        cache, wb = setup()
+        dirty(cache, wb, 1, 0, now=0.0)
+        wb.plan_flush(1.0, disk_active=True)
+        assert wb.flush_count == 1
+        assert wb.flushed_pages == 1

@@ -1,0 +1,122 @@
+"""Unit tests for the discrete-event loop."""
+
+import pytest
+
+from repro.sim.engine import EventLoop, SimulationError
+
+
+class TestScheduling:
+    def test_schedule_at_and_run(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(2.0, lambda: fired.append(loop.now))
+        loop.schedule_at(1.0, lambda: fired.append(loop.now))
+        end = loop.run()
+        assert fired == [1.0, 2.0]
+        assert end == 2.0
+
+    def test_schedule_after(self):
+        loop = EventLoop(start_time=10.0)
+        fired = []
+        loop.schedule_after(5.0, lambda: fired.append(loop.now))
+        loop.run()
+        assert fired == [15.0]
+
+    def test_schedule_into_past_rejected(self):
+        loop = EventLoop(start_time=10.0)
+        with pytest.raises(SimulationError):
+            loop.schedule_at(5.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        loop = EventLoop()
+        with pytest.raises(SimulationError):
+            loop.schedule_after(-1.0, lambda: None)
+
+    def test_tiny_past_jitter_clamped(self):
+        loop = EventLoop(start_time=1.0)
+        event = loop.schedule_at(1.0 - 1e-12, lambda: None)
+        assert event.time == 1.0
+
+    def test_events_can_schedule_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def first():
+            fired.append("first")
+            loop.schedule_after(1.0, lambda: fired.append("second"))
+
+        loop.schedule_at(0.0, first)
+        loop.run()
+        assert fired == ["first", "second"]
+        assert loop.now == 1.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        loop = EventLoop()
+        fired = []
+        event = loop.schedule_at(1.0, lambda: fired.append("x"))
+        event.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_pending_count_excludes_cancelled(self):
+        loop = EventLoop()
+        keep = loop.schedule_at(1.0, lambda: None)
+        drop = loop.schedule_at(2.0, lambda: None)
+        drop.cancel()
+        assert loop.pending_count() == 1
+        assert keep in list(loop.pending())
+
+
+class TestRunUntil:
+    def test_stops_at_deadline(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule_at(1.0, lambda: fired.append(1))
+        loop.schedule_at(5.0, lambda: fired.append(5))
+        loop.run_until(3.0)
+        assert fired == [1]
+        assert loop.now == 3.0
+        loop.run()
+        assert fired == [1, 5]
+
+    def test_deadline_in_past_keeps_clock(self):
+        loop = EventLoop(start_time=10.0)
+        assert loop.run_until(5.0) == 10.0
+
+
+class TestSafety:
+    def test_event_budget_circuit_breaker(self):
+        loop = EventLoop(max_events=100)
+
+        def reschedule():
+            loop.schedule_after(0.001, reschedule)
+
+        loop.schedule_at(0.0, reschedule)
+        with pytest.raises(SimulationError, match="budget"):
+            loop.run()
+
+    def test_not_reentrant(self):
+        loop = EventLoop()
+
+        def nested():
+            loop.run()
+
+        loop.schedule_at(0.0, nested)
+        with pytest.raises(SimulationError, match="re-entrant"):
+            loop.run()
+
+
+class TestDeterminism:
+    def test_same_schedule_same_order(self):
+        def run_once():
+            loop = EventLoop()
+            fired = []
+            for i in range(50):
+                loop.schedule_at((i * 7) % 10 * 0.1,
+                                 lambda i=i: fired.append(i))
+            loop.run()
+            return fired
+
+        assert run_once() == run_once()

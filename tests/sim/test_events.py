@@ -1,0 +1,40 @@
+"""Unit tests for repro.sim.events ordering semantics."""
+
+from repro.sim.events import (
+    PRIORITY_DEVICE,
+    PRIORITY_LATE,
+    PRIORITY_NORMAL,
+    Event,
+)
+
+
+class TestOrdering:
+    def test_earlier_time_first(self):
+        a = Event(time=1.0)
+        b = Event(time=2.0)
+        assert a < b
+
+    def test_priority_breaks_time_ties(self):
+        late = Event(time=1.0, priority=PRIORITY_LATE)
+        device = Event(time=1.0, priority=PRIORITY_DEVICE)
+        normal = Event(time=1.0, priority=PRIORITY_NORMAL)
+        assert sorted([late, device, normal]) == [device, normal, late]
+
+    def test_insertion_order_breaks_full_ties(self):
+        first = Event(time=1.0)
+        second = Event(time=1.0)
+        assert first < second          # seq increments monotonically
+
+    def test_callback_not_compared(self):
+        # Events with uncomparable callbacks still sort.
+        a = Event(time=1.0, callback=lambda: None)
+        b = Event(time=1.0, callback=print)
+        assert (a < b) or (b < a)
+
+
+class TestCancel:
+    def test_cancel_sets_flag(self):
+        e = Event(time=0.0)
+        assert not e.cancelled
+        e.cancel()
+        assert e.cancelled

@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_tables_command(self):
+        args = build_parser().parse_args(["tables"])
+        assert args.command == "tables"
+
+    def test_figure_command(self):
+        args = build_parser().parse_args(
+            ["figure", "fig2", "--panel", "a", "--csv"])
+        assert args.figure == "fig2"
+        assert args.panel == "a"
+        assert args.csv
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "fig99"])
+
+    def test_run_command(self):
+        args = build_parser().parse_args(["run", "xmms"])
+        assert args.workload == "xmms"
+
+    def test_seed_flag(self):
+        args = build_parser().parse_args(["--seed", "42", "tables"])
+        assert args.seed == 42
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_tables_output(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Hitachi" in out
+        assert "Cisco Aironet 350" in out
+        assert "thunderbird" in out
+
+    def test_run_workload(self, capsys):
+        assert main(["run", "xmms"]) == 0
+        out = capsys.readouterr().out
+        assert "Disk-only" in out
+        assert "FlexFetch" in out
+        assert "J" in out
+
+
+class TestTraceExport:
+    def test_jsonl_export(self, tmp_path, capsys):
+        out = tmp_path / "x.jsonl"
+        assert main(["trace", "xmms", "--out", str(out)]) == 0
+        from repro.traces.io import load_trace_jsonl
+        trace = load_trace_jsonl(out)
+        assert trace.name == "xmms"
+        assert "wrote" in capsys.readouterr().out
+
+    def test_csv_export(self, tmp_path):
+        out = tmp_path / "x.csv"
+        assert main(["trace", "xmms", "--out", str(out),
+                     "--format", "csv"]) == 0
+        from repro.traces.io import load_trace_csv
+        assert len(load_trace_csv(out)) > 0
+
+    def test_strace_export_parses_back(self, tmp_path):
+        out = tmp_path / "x.strace"
+        assert main(["trace", "xmms", "--out", str(out),
+                     "--format", "strace"]) == 0
+        from repro.traces.strace import parse_strace_file
+        trace = parse_strace_file(out)
+        assert len(trace) > 0
+
+
+class TestInspect:
+    def test_inspect_scenario(self, capsys):
+        assert main(["inspect", "mplayer"]) == 0
+        out = capsys.readouterr().out
+        assert "trace mplayer" in out
+        assert "gap structure" in out
+
+    def test_inspect_composite(self, capsys):
+        assert main(["inspect", "grep+make+xmms"]) == 0
+        out = capsys.readouterr().out
+        assert "disk-pinned" in out

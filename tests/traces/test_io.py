@@ -1,0 +1,160 @@
+"""Round-trip tests for trace serialisation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.traces.io import load_trace_jsonl, save_trace_jsonl
+from repro.traces.record import FileInfo, OpType, SyscallRecord
+from repro.traces.trace import Trace
+from tests.conftest import make_trace
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self, tmp_path, tiny_trace):
+        path = tmp_path / "t.jsonl"
+        save_trace_jsonl(tiny_trace, path)
+        loaded = load_trace_jsonl(path)
+        assert loaded.name == tiny_trace.name
+        assert loaded.records == tiny_trace.records
+        assert loaded.files == tiny_trace.files
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        save_trace_jsonl(Trace("empty", [], {}), path)
+        loaded = load_trace_jsonl(path)
+        assert len(loaded) == 0
+
+    def test_generator_trace_round_trip(self, tmp_path):
+        from repro.traces.synth import generate_xmms
+        from repro.traces.synth.xmms import XmmsParams
+        trace = generate_xmms(seed=3, params=XmmsParams(duration=60.0))
+        path = tmp_path / "x.jsonl"
+        save_trace_jsonl(trace, path)
+        loaded = load_trace_jsonl(path)
+        assert loaded.records == trace.records
+        assert loaded.files == trace.files
+
+
+class TestErrors:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace_jsonl(path)
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"rec"}\n')
+        with pytest.raises(ValueError, match="header"):
+            load_trace_jsonl(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"header","version":99,"name":"x",'
+                        '"files":[]}\n')
+        with pytest.raises(ValueError, match="version"):
+            load_trace_jsonl(path)
+
+    def test_garbage_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind":"header","version":1,"name":"x",'
+                        '"files":[]}\n{"kind":"blob"}\n')
+        with pytest.raises(ValueError, match="record"):
+            load_trace_jsonl(path)
+
+
+@st.composite
+def trace_strategy(draw):
+    """Random small-but-valid traces."""
+    n_files = draw(st.integers(1, 4))
+    sizes = [draw(st.integers(1, 100_000)) for _ in range(n_files)]
+    files = {i + 1: FileInfo(inode=i + 1, path=f"f{i}", size_bytes=s)
+             for i, s in enumerate(sizes)}
+    n_recs = draw(st.integers(0, 25))
+    ts = 0.0
+    records = []
+    for _ in range(n_recs):
+        inode = draw(st.integers(1, n_files))
+        op = draw(st.sampled_from([OpType.READ, OpType.WRITE]))
+        fsize = files[inode].size_bytes
+        if op is OpType.READ:
+            offset = draw(st.integers(0, max(0, fsize - 1)))
+            size = draw(st.integers(0, fsize - offset))
+        else:
+            offset = draw(st.integers(0, 200_000))
+            size = draw(st.integers(0, 50_000))
+        ts += draw(st.floats(0, 10, allow_nan=False))
+        dur = draw(st.floats(0, 0.5, allow_nan=False))
+        records.append(SyscallRecord(pid=1, fd=3, inode=inode,
+                                     offset=offset, size=size, op=op,
+                                     timestamp=ts, duration=dur))
+        if op is OpType.WRITE:
+            info = files[inode]
+            files[inode] = FileInfo(inode=inode, path=info.path,
+                                    size_bytes=max(info.size_bytes,
+                                                   offset + size))
+    return Trace("prop", records, files)
+
+
+class TestPropertyRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(trace_strategy())
+    def test_round_trip_exact(self, tmp_path_factory, trace):
+        path = tmp_path_factory.mktemp("io") / "t.jsonl"
+        save_trace_jsonl(trace, path)
+        loaded = load_trace_jsonl(path)
+        assert loaded.name == trace.name
+        assert loaded.records == trace.records
+        assert loaded.files == trace.files
+
+
+class TestCsvRoundTrip:
+    def test_simple_round_trip(self, tmp_path, tiny_trace):
+        from repro.traces.io import load_trace_csv, save_trace_csv
+        path = tmp_path / "t.csv"
+        save_trace_csv(tiny_trace, path)
+        loaded = load_trace_csv(path)
+        assert loaded.name == tiny_trace.name
+        assert loaded.records == tiny_trace.records
+        assert loaded.files == tiny_trace.files
+
+    def test_paths_with_commas_survive(self, tmp_path):
+        from repro.traces.io import load_trace_csv, save_trace_csv
+        from repro.traces.record import FileInfo
+        trace = Trace("odd", [], {1: FileInfo(
+            inode=1, path='dir,with,"commas"/f', size_bytes=5)})
+        path = tmp_path / "odd.csv"
+        save_trace_csv(trace, path)
+        assert load_trace_csv(path).files[1].path == \
+            'dir,with,"commas"/f'
+
+    def test_missing_preamble_rejected(self, tmp_path):
+        from repro.traces.io import load_trace_csv
+        path = tmp_path / "bad.csv"
+        path.write_text("pid,fd,inode,offset,size,op,ts,dur\n")
+        with pytest.raises(ValueError, match="preamble"):
+            load_trace_csv(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        from repro.traces.io import load_trace_csv
+        path = tmp_path / "bad.csv"
+        path.write_text("#trace,99,x\npid,fd,inode,offset,size,op,ts,dur\n")
+        with pytest.raises(ValueError, match="version"):
+            load_trace_csv(path)
+
+    def test_rows_before_header_rejected(self, tmp_path):
+        from repro.traces.io import load_trace_csv
+        path = tmp_path / "bad.csv"
+        path.write_text("#trace,1,x\n1,3,1,0,10,read,0.0,0.0\n")
+        with pytest.raises(ValueError, match="header"):
+            load_trace_csv(path)
+
+    @settings(max_examples=25, deadline=None)
+    @given(trace_strategy())
+    def test_property_round_trip(self, tmp_path_factory, trace):
+        from repro.traces.io import load_trace_csv, save_trace_csv
+        path = tmp_path_factory.mktemp("csv") / "t.csv"
+        save_trace_csv(trace, path)
+        loaded = load_trace_csv(path)
+        assert loaded.records == trace.records
+        assert loaded.files == trace.files

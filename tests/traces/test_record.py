@@ -1,0 +1,70 @@
+"""Unit tests for trace record types."""
+
+import pytest
+
+from repro.traces.record import FileInfo, OpType, SyscallRecord
+
+
+def rec(**kw):
+    base = dict(pid=1, fd=3, inode=10, offset=0, size=4096,
+                op=OpType.READ, timestamp=0.0, duration=0.001)
+    base.update(kw)
+    return SyscallRecord(**base)
+
+
+class TestOpType:
+    def test_moves_data(self):
+        assert OpType.READ.moves_data
+        assert OpType.WRITE.moves_data
+        assert not OpType.OPEN.moves_data
+        assert not OpType.CLOSE.moves_data
+
+    def test_string_round_trip(self):
+        assert OpType("read") is OpType.READ
+        with pytest.raises(ValueError):
+            OpType("mmap")
+
+
+class TestSyscallRecord:
+    def test_derived_fields(self):
+        r = rec(offset=100, size=50, timestamp=2.0, duration=0.5)
+        assert r.end_offset == 150
+        assert r.end_time == pytest.approx(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rec(offset=-1)
+        with pytest.raises(ValueError):
+            rec(size=-1)
+        with pytest.raises(ValueError):
+            rec(timestamp=-0.1)
+        with pytest.raises(ValueError):
+            rec(duration=-0.1)
+
+    def test_sequentiality(self):
+        a = rec(offset=0, size=100)
+        b = rec(offset=100, size=100, timestamp=0.01)
+        assert b.is_sequential_with(a)
+
+    def test_sequentiality_requires_same_file_and_op(self):
+        a = rec(offset=0, size=100)
+        assert not rec(offset=100, inode=11).is_sequential_with(a)
+        assert not rec(offset=100, op=OpType.WRITE).is_sequential_with(a)
+        assert not rec(offset=104, size=100).is_sequential_with(a)
+
+    def test_immutability(self):
+        r = rec()
+        with pytest.raises(AttributeError):
+            r.size = 1
+
+
+class TestFileInfo:
+    def test_valid(self):
+        info = FileInfo(inode=1, path="a/b", size_bytes=10)
+        assert info.path == "a/b"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FileInfo(inode=1, path="", size_bytes=10)
+        with pytest.raises(ValueError):
+            FileInfo(inode=1, path="x", size_bytes=-1)

@@ -1,0 +1,134 @@
+"""Unit tests for the modified-strace collector parser."""
+
+import pytest
+
+from repro.traces.record import OpType, SyscallRecord
+from repro.traces.strace import (
+    StraceParseError,
+    format_strace_line,
+    parse_strace_file,
+    parse_strace_line,
+    parse_strace_text,
+)
+
+GOOD = ("4242 1183900000.123456 read(3</src/main.c>) "
+        "inode=1001 offset=8192 size=4096 = 4096 <0.000213>")
+
+
+class TestLineParsing:
+    def test_good_line(self):
+        rec, path = parse_strace_line(GOOD)
+        assert rec.pid == 4242
+        assert rec.fd == 3
+        assert rec.inode == 1001
+        assert rec.offset == 8192
+        assert rec.size == 4096
+        assert rec.op is OpType.READ
+        assert rec.timestamp == pytest.approx(1183900000.123456)
+        assert rec.duration == pytest.approx(0.000213)
+        assert path == "src/main.c"
+
+    def test_line_without_path(self):
+        rec, path = parse_strace_line(
+            "1 2.5 write(4) inode=7 offset=0 size=100 = 100 <0.01>")
+        assert rec.op is OpType.WRITE
+        assert path is None
+
+    def test_short_return_truncates_size(self):
+        rec, _ = parse_strace_line(
+            "1 2.5 read(4) inode=7 offset=0 size=100 = 60 <0.01>")
+        assert rec.size == 60
+
+    def test_failed_call_is_zero_size(self):
+        rec, _ = parse_strace_line(
+            "1 2.5 read(4) inode=7 offset=0 size=100 = -1 <0.01>")
+        assert rec.size == 0
+
+    def test_open_close_have_zero_size(self):
+        rec, _ = parse_strace_line(
+            "1 2.5 open(4) inode=7 offset=0 size=0 = 4 <0.01>")
+        assert rec.op is OpType.OPEN
+        assert rec.size == 0
+
+    def test_garbage_rejected(self):
+        with pytest.raises(StraceParseError):
+            parse_strace_line("mmap(NULL, 4096) = 0x7f")
+
+
+class TestTextParsing:
+    TEXT = """
+# collector output
+10 100.0 open(3</a>) inode=1 offset=0 size=0 = 3 <0.0001>
+10 100.1 read(3</a>) inode=1 offset=0 size=4096 = 4096 <0.0002>
+10 100.2 read(3</a>) inode=1 offset=4096 size=4096 = 4096 <0.0002>
+11 100.3 write(4</b>) inode=2 offset=0 size=100 = 100 <0.0001>
+"""
+
+    def test_parse_text(self):
+        trace = parse_strace_text(self.TEXT, name="demo")
+        assert trace.name == "demo"
+        assert len(trace) == 4
+        assert len(trace.files) == 2
+        assert trace.files[1].path == "a"
+
+    def test_timestamps_rebased(self):
+        trace = parse_strace_text(self.TEXT)
+        assert trace.records[0].timestamp == 0.0
+        assert trace.records[-1].timestamp == pytest.approx(0.3)
+
+    def test_file_sizes_inferred(self):
+        trace = parse_strace_text(self.TEXT)
+        assert trace.files[1].size_bytes == 8192
+        assert trace.files[2].size_bytes == 100
+
+    def test_explicit_file_sizes_override(self):
+        trace = parse_strace_text(self.TEXT, file_sizes={1: 1_000_000})
+        assert trace.files[1].size_bytes == 1_000_000
+
+    def test_out_of_order_lines_sorted(self):
+        text = ("1 5.0 read(3) inode=1 offset=0 size=10 = 10 <0.1>\n"
+                "1 2.0 read(3) inode=1 offset=0 size=10 = 10 <0.1>\n")
+        trace = parse_strace_text(text)
+        assert trace.records[0].timestamp == 0.0
+        assert trace.records[1].timestamp == pytest.approx(3.0)
+
+    def test_bad_line_reports_number(self):
+        text = "1 1.0 read(3) inode=1 offset=0 size=10 = 10 <0.1>\njunk\n"
+        with pytest.raises(StraceParseError, match="line 2"):
+            parse_strace_text(text)
+
+    def test_empty_text(self):
+        trace = parse_strace_text("")
+        assert len(trace) == 0
+
+    def test_parse_file(self, tmp_path):
+        p = tmp_path / "capture.strace"
+        p.write_text(self.TEXT)
+        trace = parse_strace_file(p)
+        assert trace.name == "capture"
+        assert len(trace) == 4
+
+
+class TestFormatting:
+    def test_format_parse_round_trip(self):
+        rec = SyscallRecord(pid=9, fd=5, inode=77, offset=512, size=256,
+                            op=OpType.READ, timestamp=1.5, duration=0.002)
+        line = format_strace_line(rec, path="x/y", epoch=1000.0)
+        parsed, path = parse_strace_line(line)
+        assert path == "x/y"
+        assert parsed.pid == rec.pid
+        assert parsed.inode == rec.inode
+        assert parsed.offset == rec.offset
+        assert parsed.size == rec.size
+        assert parsed.timestamp == pytest.approx(1001.5)
+
+    def test_whole_trace_round_trip(self, tiny_trace):
+        lines = [format_strace_line(r, epoch=100.0)
+                 for r in tiny_trace.records]
+        trace = parse_strace_text("\n".join(lines), name="rt")
+        assert len(trace) == len(tiny_trace)
+        for a, b in zip(trace.records, tiny_trace.records):
+            assert a.inode == b.inode
+            assert a.offset == b.offset
+            assert a.size == b.size
+            assert a.timestamp == pytest.approx(b.timestamp, abs=1e-5)

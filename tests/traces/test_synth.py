@@ -1,0 +1,126 @@
+"""Tests for the synthetic application generators (Table 3)."""
+
+import pytest
+
+from repro.traces.record import OpType
+from repro.traces.synth import (
+    TABLE3_GENERATORS,
+    TABLE3_REFERENCE,
+    generate_acroread_profile_run,
+    generate_acroread_search_run,
+    generate_grep_make,
+    generate_grep_make_xmms,
+    generate_mplayer,
+    generate_thunderbird,
+    generate_xmms,
+)
+from repro.traces.synth.xmms import XmmsParams
+
+
+class TestTable3Exactness:
+    """Every generator must hit its Table 3 row exactly."""
+
+    @pytest.mark.parametrize("name", sorted(TABLE3_GENERATORS))
+    def test_file_count(self, name):
+        stats = TABLE3_GENERATORS[name](seed=7).stats()
+        assert stats.file_count == TABLE3_REFERENCE[name][0]
+
+    @pytest.mark.parametrize("name", sorted(TABLE3_GENERATORS))
+    def test_footprint_mb(self, name):
+        stats = TABLE3_GENERATORS[name](seed=7).stats()
+        assert stats.footprint_mb == pytest.approx(
+            TABLE3_REFERENCE[name][1], abs=0.05)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(TABLE3_GENERATORS))
+    def test_same_seed_same_trace(self, name):
+        a = TABLE3_GENERATORS[name](seed=11)
+        b = TABLE3_GENERATORS[name](seed=11)
+        assert a.records == b.records
+        assert a.files == b.files
+
+    def test_different_seed_different_trace(self):
+        a = generate_thunderbird(seed=1)
+        b = generate_thunderbird(seed=2)
+        assert a.records != b.records
+
+
+class TestStructure:
+    def test_grep_is_one_dense_scan(self):
+        from repro.traces.synth import generate_grep
+        stats = generate_grep(seed=7).stats()
+        # Every gap is far below the 20 ms burst threshold.
+        assert stats.think_percentile(99) < 0.020
+        assert stats.read_bytes == pytest.approx(stats.footprint_bytes,
+                                                 rel=0.01)
+
+    def test_make_has_compile_gaps_and_long_steps(self):
+        import numpy as np
+        from repro.traces.synth import generate_make
+        stats = generate_make(seed=7).stats()
+        # Compile gaps (the generator also emits ~50 ms post-write
+        # pauses; genuine compiles are the > 0.5 s ones).  Their
+        # typical size lets the WNIC doze (> 0.8 s).
+        compile_gaps = [t for t in stats.think_times if t > 0.5]
+        assert compile_gaps
+        assert float(np.median(compile_gaps)) > 0.8
+        assert max(stats.think_times) > 20.0        # > disk timeout
+        assert stats.write_bytes > 0                # object files
+
+    def test_xmms_interval_below_disk_timeout(self):
+        stats = generate_xmms(seed=7).stats()
+        assert stats.think_percentile(99) < 20.0    # keeps disk awake
+
+    def test_xmms_duration_cap(self):
+        t = generate_xmms(seed=7, params=XmmsParams(duration=100.0))
+        assert t.duration <= 110.0
+
+    def test_mplayer_burst_interval(self):
+        stats = generate_mplayer(seed=7).stats()
+        # Bursty: most gaps tiny, refill gaps ~7.5 s.
+        assert stats.think_percentile(50) < 0.01
+        assert max(stats.think_times) == pytest.approx(7.5, abs=0.5)
+
+    def test_thunderbird_two_phases(self):
+        trace = generate_thunderbird(seed=7)
+        stats = trace.stats()
+        assert max(stats.think_times) > 10.0        # email think time
+        # the search sweep reads every mbox fully
+        mbox_bytes = sum(f.size_bytes for f in trace.files.values()
+                         if "mbox" in f.path)
+        assert stats.read_bytes > mbox_bytes
+
+    def test_acroread_runs_differ(self):
+        search = generate_acroread_search_run(seed=7).stats()
+        profile = generate_acroread_profile_run(seed=7).stats()
+        assert search.footprint_mb == pytest.approx(200.0)
+        assert profile.footprint_mb == pytest.approx(20.0)
+        assert max(profile.think_times) == pytest.approx(25.0, abs=0.1)
+        assert max(search.think_times) == pytest.approx(10.0, abs=0.1)
+        # the profile run's interval exceeds the 20 s disk timeout;
+        # the search run's does not — the §3.3.5 setup.
+        assert max(profile.think_times) > 20.0 > max(search.think_times)
+
+    def test_all_reads_within_file_bounds(self):
+        for name, gen in TABLE3_GENERATORS.items():
+            trace = gen(seed=5)
+            for rec in trace.records:
+                if rec.op is OpType.READ:
+                    assert rec.end_offset <= \
+                        trace.files[rec.inode].size_bytes, name
+
+
+class TestComposites:
+    def test_grep_make_order(self):
+        trace = generate_grep_make(seed=7)
+        assert trace.name == "grep+make"
+        # grep files + make files, disjoint inode spaces
+        assert len(trace.files) == 1332 + 2579
+
+    def test_grep_make_xmms_returns_pair(self):
+        fg, bg = generate_grep_make_xmms(seed=7)
+        assert bg.name == "xmms"
+        assert set(fg.files).isdisjoint(set(bg.files))
+        # xmms plays at least as long as the foreground nominal run
+        assert bg.duration >= fg.duration * 0.9
