@@ -10,7 +10,6 @@ and records the energy curve to ``benchmarks/results/ablations.txt``:
   free rider) switched off one at a time.
 """
 
-from pathlib import Path
 
 import pytest
 

@@ -8,6 +8,8 @@
     flexfetch all                    # everything (slow)
     flexfetch run mplayer            # single workload, all policies,
                                      # default link settings
+    flexfetch run grep+make --faults outage-rate=0.01 --strict
+    flexfetch faults grep+make       # energy vs wireless outage rate
 
 ``python -m repro`` is equivalent.
 """
@@ -21,14 +23,23 @@ from typing import Sequence
 from repro.core.bluefs import BlueFSPolicy
 from repro.core.flexfetch import FlexFetchPolicy
 from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
-from repro.core.profile import profile_from_trace
-from repro.core.simulator import ProgramSpec, ReplaySimulator
+from repro.core.simulator import ReplaySimulator
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.figures import FIGURES
-from repro.experiments.report import render_figure, render_table, sweep_to_csv
+from repro.experiments.figures import FIGURES, fault_panel
+from repro.experiments.report import (
+    fault_panel_to_csv,
+    render_fault_panel,
+    render_figure,
+    render_table,
+    sweep_to_csv,
+)
 from repro.experiments.tables import table1, table2, table3
-from repro.traces.io import save_trace_csv, save_trace_jsonl
-from repro.traces.strace import format_strace_line
+from repro.faults.invariants import SimulationInvariantError
+from repro.faults.schedule import FaultSchedule, FaultSpec, FaultSpecError
+from repro.sim.engine import SimulationError
+from repro.traces.io import TraceValidationError, save_trace_csv, \
+    save_trace_jsonl
+from repro.traces.strace import StraceParseError, format_strace_line
 from repro.traces.synth import TABLE3_GENERATORS
 
 
@@ -80,18 +91,60 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     config = ExperimentConfig(seed=args.seed)
     scenario = build_scenario(args.workload, seed=args.seed)
+    fault_spec = FaultSpec.parse(args.faults) if args.faults else None
     total_calls = sum(len(p.trace) for p in scenario.programs)
     print(f"scenario {scenario.name}: {scenario.description}")
     print(f"  {len(scenario.programs)} program(s), {total_calls} calls")
+    if fault_spec is not None and fault_spec.enabled:
+        print(f"  faults: {args.faults}")
     policies = [DiskOnlyPolicy(), WnicOnlyPolicy(), BlueFSPolicy(),
                 FlexFetchPolicy(scenario.profile)]
     for policy in policies:
+        faults = FaultSchedule(fault_spec, seed=args.seed) \
+            if fault_spec is not None else None
         sim = ReplaySimulator(list(scenario.programs), policy,
                               disk_spec=config.disk_spec,
                               wnic_spec=config.wnic_spec,
                               memory_bytes=config.memory_bytes,
-                              seed=config.seed)
-        print(" ", sim.run().summary())
+                              seed=config.seed,
+                              faults=faults, strict=args.strict)
+        result = sim.run()
+        line = result.summary()
+        failovers = sum(result.fault_failovers.values())
+        if failovers or result.disk_spinup_failures:
+            line += (f"  [failovers={failovers}"
+                     f" spinup-failures={result.disk_spinup_failures}]")
+        print(" ", line)
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.traces.synth.scenarios import SCENARIOS
+    if args.workload not in SCENARIOS:
+        print(f"unknown scenario {args.workload!r}; choose from"
+              f" {sorted(SCENARIOS)}", file=sys.stderr)
+        return 2
+    try:
+        rates = tuple(float(r) for r in args.rates.split(",") if r.strip())
+    except ValueError:
+        print(f"bad --rates {args.rates!r}; expected comma-separated"
+              " numbers", file=sys.stderr)
+        return 2
+    if not rates or any(r < 0 for r in rates):
+        print("--rates needs at least one non-negative rate",
+              file=sys.stderr)
+        return 2
+    base = FaultSpec.parse(args.faults) if args.faults else None
+    config = ExperimentConfig(seed=args.seed)
+    progress = (lambda line: print(f"  {line}", file=sys.stderr)) \
+        if args.verbose else None
+    panel = fault_panel(config, scenario=args.workload, rates=rates,
+                        base_spec=base, strict=args.strict,
+                        progress=progress)
+    print(render_fault_panel(panel))
+    if args.csv:
+        print("# fault panel CSV")
+        print(fault_panel_to_csv(panel))
     return 0
 
 
@@ -173,6 +226,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_run = sub.add_parser("run",
                            help="one scenario, all policies, default link")
     p_run.add_argument("workload", choices=sorted(SCENARIOS))
+    p_run.add_argument("--faults", metavar="SPEC",
+                       help="inject faults, e.g."
+                       " 'outage-rate=0.01,spinup-fail-prob=0.2'")
+    p_run.add_argument("--strict", action="store_true",
+                       help="runtime invariant checking (fail loudly)")
+
+    p_faults = sub.add_parser(
+        "faults", help="energy of all policies vs wireless outage rate")
+    p_faults.add_argument("workload", choices=sorted(SCENARIOS))
+    p_faults.add_argument("--rates", default="0,0.002,0.005,0.01,0.02",
+                          help="comma-separated outage rates (1/s)")
+    p_faults.add_argument("--faults", metavar="SPEC",
+                          help="base fault spec the rate sweep overrides")
+    p_faults.add_argument("--strict", action="store_true",
+                          help="runtime invariant checking on every run")
+    p_faults.add_argument("--csv", action="store_true",
+                          help="also dump CSV data")
+    p_faults.add_argument("--verbose", action="store_true",
+                          help="per-point progress on stderr")
 
     p_inspect = sub.add_parser(
         "inspect", help="burst/think structure report of a scenario")
@@ -189,6 +261,13 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Failure modes every subcommand turns into exit code 1 with a
+#: one-line diagnostic instead of a traceback.
+_USER_ERRORS = (TraceValidationError, StraceParseError, FaultSpecError,
+                SimulationInvariantError, SimulationError, ValueError,
+                OSError)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point (console script ``flexfetch``)."""
     args = build_parser().parse_args(argv)
@@ -197,10 +276,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         "figure": _cmd_figure,
         "all": _cmd_all,
         "run": _cmd_run,
+        "faults": _cmd_faults,
         "trace": _cmd_trace,
         "inspect": _cmd_inspect,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except _USER_ERRORS as exc:
+        message = str(exc).splitlines()[0] if str(exc) else \
+            type(exc).__name__
+        print(f"flexfetch: error: {message}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,7 +15,12 @@
   produces every number in the evaluation (§3.1).
 """
 
-from repro.core.burst import BURST_THRESHOLD_DEFAULT, IOBurst, ProfiledRequest, extract_bursts
+from repro.core.burst import (
+    BURST_THRESHOLD_DEFAULT,
+    IOBurst,
+    ProfiledRequest,
+    extract_bursts,
+)
 from repro.core.decision import DataSource, DecisionInputs, decide
 from repro.core.estimator import StageEstimate, estimate_stage
 from repro.core.flexfetch import FlexFetchConfig, FlexFetchPolicy

@@ -17,8 +17,8 @@ run's partial profile as requests stream past (§2.3.1).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Iterable
 
 from repro.devices.specs import HITACHI_DK23DA
 from repro.sim.clock import KB

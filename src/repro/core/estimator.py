@@ -27,7 +27,6 @@ from repro.core.decision import DataSource
 from repro.devices.disk import HardDisk
 from repro.devices.layout import DiskLayout
 from repro.devices.wnic import Direction, WirelessNic
-from repro.kernel.vfs import VirtualFileSystem
 from repro.traces.record import OpType
 
 

@@ -51,8 +51,6 @@ from repro.core.profile import (
     STAGE_LENGTH_DEFAULT,
     ExecutionProfile,
 )
-from repro.devices.disk import DiskState
-from repro.traces.record import OpType
 
 
 @dataclass(frozen=True, slots=True)
@@ -126,6 +124,13 @@ class _StageAccounting:
     wnic_energy0: float
     observed: list[tuple[ProfiledRequest, float, float]] = \
         field(default_factory=list)  # (request, start, end)
+    #: joules spent on the *other* device on each source's behalf during
+    #: fault recovery (failover waste + cross-device service); the audit
+    #: charges it to the intended source so its measured energy reflects
+    #: what choosing that source actually cost this stage.
+    cross_energy: dict[DataSource, float] = field(
+        default_factory=lambda: {DataSource.DISK: 0.0,
+                                 DataSource.NETWORK: 0.0})
 
     def observe(self, req: ProfiledRequest, start: float,
                 end: float) -> None:
@@ -187,6 +192,7 @@ class FlexFetchPolicy(Policy):
         self.audit_log: list[tuple[float, float, float, DataSource]] = []
         self.free_rides = 0
         self.splice_flips = 0
+        self.fault_failovers = 0
         #: old-profile burst index the observed byte count has reached;
         #: crossing it triggers the §2.3.1 re-evaluation.
         self._boundary_seen = 0
@@ -354,6 +360,10 @@ class FlexFetchPolicy(Policy):
             measured = self.env.disk.energy(now) - stage.disk_energy0
         else:
             measured = self.env.wnic.energy(now) - stage.wnic_energy0
+        # Cross-device energy spent recovering the chosen source's
+        # requests (mid-stage failovers) is part of what that choice
+        # cost, so the next stage's decision learns from the failure.
+        measured += stage.cross_energy[chosen]
         alt = chosen.other
         counterfactual = self._counterfactual_energy(now, alt)
         if not stage.observed:
@@ -439,3 +449,21 @@ class FlexFetchPolicy(Policy):
 
     def on_external_disk_request(self, now: float) -> None:
         self._external_times.append(now)
+
+    # -- fault-injection hooks ---------------------------------------------
+    def on_fault(self, now: float, intended: DataSource,
+                 cross_energy: float, attempts: int) -> None:
+        """Charge fault-recovery waste to the stage audit (§2.3.1)."""
+        if self._stage is not None and cross_energy > 0.0:
+            self._stage.cross_energy[intended] += cross_energy
+
+    def on_failover(self, now: float, source: DataSource,
+                    fallback: DataSource) -> None:
+        """Mid-stage failover: follow the simulator onto the fallback
+        device so subsequent requests don't keep hitting the failed one
+        (the stage-end audit then re-decides with the waste priced in).
+        """
+        self.fault_failovers += 1
+        if self.current_source is source:
+            self.current_source = fallback
+        self.decision_log.append((now, fallback, "fault-failover"))

@@ -99,6 +99,23 @@ class Policy(ABC):
     def on_external_disk_request(self, now: float) -> None:
         """A non-profiled program touched the disk (§2.3.3 free-rider)."""
 
+    # -- fault-injection hooks ---------------------------------------------
+    def on_fault(self, now: float, intended: DataSource,
+                 cross_energy: float, attempts: int) -> None:
+        """A request routed to ``intended`` needed fault recovery.
+
+        ``attempts`` counts the failed device attempts in the chain and
+        ``cross_energy`` is the joules ultimately spent on the *other*
+        device on ``intended``'s behalf (failover waste + service).
+        FlexFetch charges this to its stage audit so the next stage's
+        decision learns from the failure.
+        """
+
+    def on_failover(self, now: float, source: DataSource,
+                    fallback: DataSource) -> None:
+        """The simulator abandoned ``source`` mid-request for
+        ``fallback`` (retry budget exhausted)."""
+
 
 class DiskOnlyPolicy(Policy):
     """Always the local hard disk — the hoarding status quo."""

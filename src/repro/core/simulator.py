@@ -31,12 +31,14 @@ from repro.devices.disk import DiskState, HardDisk
 from repro.devices.dpm import SpindownPolicy
 from repro.devices.layout import BLOCK_SIZE, DiskLayout
 from repro.devices.specs import HITACHI_DK23DA, AIRONET_350, DiskSpec, WnicSpec
-from repro.devices.wnic import Direction, WirelessNic, WnicMode
+from repro.devices.wnic import Direction, WirelessNic
+from repro.faults.invariants import InvariantChecker
+from repro.faults.schedule import FaultSchedule
 from repro.kernel.page import Extent
 from repro.kernel.scheduler import CScanScheduler, DiskExtent
 from repro.kernel.vfs import VirtualFileSystem
 from repro.sim.clock import MB
-from repro.sim.engine import EventLoop
+from repro.sim.engine import EventLoop, SimulationError
 from repro.traces.record import OpType, SyscallRecord
 from repro.traces.trace import Trace
 
@@ -75,6 +77,11 @@ class RunResult:
     wnic_breakdown: dict[str, float] = field(default_factory=dict)
     disk_residency: dict[str, float] = field(default_factory=dict)
     wnic_residency: dict[str, float] = field(default_factory=dict)
+    #: fault-injection accounting (all zero without a fault schedule).
+    disk_spinup_failures: int = 0
+    fault_retries: dict[str, int] = field(default_factory=dict)
+    fault_failovers: dict[str, int] = field(default_factory=dict)
+    fault_wasted_energy: dict[str, float] = field(default_factory=dict)
 
     @property
     def total_energy(self) -> float:
@@ -143,12 +150,19 @@ class _ProgramState:
 class ReplaySimulator:
     """Replays programs under a policy and accounts the energy."""
 
+    #: circuit breaker on one request's fault-recovery chain; pathological
+    #: hand-built schedules aside, the consecutive-spin-up-failure cap in
+    #: :class:`FaultSchedule` guarantees success far below this.
+    MAX_FAULT_ATTEMPTS = 32
+
     def __init__(self, programs: list[ProgramSpec], policy: Policy, *,
                  disk_spec: DiskSpec = HITACHI_DK23DA,
                  wnic_spec: WnicSpec = AIRONET_350,
                  memory_bytes: int = 64 * MB,
                  seed: int = 0,
-                 spindown_policy: SpindownPolicy | None = None) -> None:
+                 spindown_policy: SpindownPolicy | None = None,
+                 faults: FaultSchedule | None = None,
+                 strict: bool = False) -> None:
         if not programs:
             raise ValueError("need at least one program")
         self.env = MobileSystem(disk_spec=disk_spec, wnic_spec=wnic_spec,
@@ -160,6 +174,19 @@ class ReplaySimulator:
         self.programs = [_ProgramState(s) for s in programs]
         self.loop = EventLoop()
         self._request_count = 0
+        # A schedule with nothing scheduled must be a strict no-op: the
+        # devices never see it and every float path stays byte-identical.
+        self.faults = faults if faults is not None and faults.enabled \
+            else None
+        if self.faults is not None:
+            self.env.disk.set_fault_schedule(self.faults)
+            self.env.wnic.set_fault_schedule(self.faults)
+        self._checker = InvariantChecker() if strict else None
+        self._avoid_until = {DataSource.DISK: float("-inf"),
+                             DataSource.NETWORK: float("-inf")}
+        self._fault_retries: dict[str, int] = {}
+        self._fault_failovers: dict[str, int] = {}
+        self._fault_wasted: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # device service
@@ -184,13 +211,102 @@ class ReplaySimulator:
             disk_pinned=prog.spec.disk_pinned, inode=extent.inode,
             offset=extent.start * BLOCK_SIZE, nbytes=extent.nbytes, op=op)
         source = self.policy.route(ctx)
-        result = self._service_extent(extent, source, when, op)
+        if self.faults is None:
+            result = self._service_extent(extent, source, when, op)
+        else:
+            source, result = self._service_with_recovery(
+                prog, extent, source, when, op, ctx)
         if op is OpType.READ:
             self.env.vfs.complete_fetch(extent, result.completion)
         if not prog.spec.profiled and source is DataSource.DISK:
             self.policy.on_external_disk_request(when)
         self.policy.on_serviced(ctx, source, result)
+        if self._checker is not None:
+            self._checker.on_service(result, program=prog.name,
+                                     source=source.value)
         return result.completion
+
+    # ------------------------------------------------------------------
+    # fault recovery
+    # ------------------------------------------------------------------
+    def _effective_source(self, intended: DataSource,
+                          ctx: RequestContext) -> DataSource:
+        """Honour failover cooldowns: avoid a recently failed device."""
+        if ctx.disk_pinned:
+            return DataSource.DISK
+        other = (DataSource.NETWORK if intended is DataSource.DISK
+                 else DataSource.DISK)
+        if (ctx.now < self._avoid_until[intended]
+                and ctx.now >= self._avoid_until[other]):
+            return other
+        return intended
+
+    def _service_with_recovery(
+            self, prog: _ProgramState, extent: Extent,
+            intended: DataSource, when: float, op: OpType,
+            ctx: RequestContext):
+        """Service under faults: timeout -> backoff retries -> failover.
+
+        A network fetch that hits an outage times out after
+        ``spec.network_timeout`` and is retried with exponential backoff;
+        once the retry budget is spent the request fails over mid-stage
+        to the disk.  Symmetrically a disk whose spin-up retries are
+        exhausted (the device retries internally) fails over to the
+        WNIC.  Disk-pinned data has no replica, so it can only back off
+        and retry the disk.  Returns ``(actual_source, result)``.
+        """
+        spec = self.faults.spec
+        current = self._effective_source(intended, ctx)
+        t = when
+        attempts_on = {DataSource.DISK: 0, DataSource.NETWORK: 0}
+        total_attempts = 0
+        cross_energy = 0.0
+        while True:
+            result = self._service_extent(extent, current, t, op)
+            if current is not intended:
+                cross_energy += result.energy
+            if not getattr(result, "failed", False):
+                break
+            total_attempts += 1
+            attempts_on[current] += 1
+            self._fault_retries[current.value] = \
+                self._fault_retries.get(current.value, 0) + 1
+            self._fault_wasted[current.value] = \
+                self._fault_wasted.get(current.value, 0.0) + result.energy
+            if total_attempts >= self.MAX_FAULT_ATTEMPTS:
+                raise SimulationError(
+                    f"fault recovery for {prog.name!r} exceeded"
+                    f" {self.MAX_FAULT_ATTEMPTS} attempts at"
+                    f" t={result.completion:.3f}")
+            t = result.completion
+            # The disk retries spin-up internally (bounded backoff), so a
+            # failed disk service has already spent its budget.
+            budget = (spec.network_retries
+                      if current is DataSource.NETWORK else 0)
+            if attempts_on[current] > budget and not ctx.disk_pinned:
+                fallback = (DataSource.DISK
+                            if current is DataSource.NETWORK
+                            else DataSource.NETWORK)
+                self._avoid_until[current] = t + spec.failover_cooldown
+                self._fault_failovers[current.value] = \
+                    self._fault_failovers.get(current.value, 0) + 1
+                self.policy.on_failover(t, current, fallback)
+                current = fallback
+                attempts_on[current] = 0
+            else:
+                t += spec.retry_backoff * 2 ** (attempts_on[current] - 1)
+        if total_attempts or cross_energy:
+            # Tell the policy so its stage-end audit can attribute the
+            # retry waste / cross-device service to the intended source.
+            self.policy.on_fault(result.completion, intended,
+                                 cross_energy, total_attempts)
+        if current is not intended:
+            # The route() tally charged the intended device; move it.
+            self.policy.routed_requests[intended] -= 1
+            self.policy.routed_bytes[intended] -= ctx.nbytes
+            self.policy.routed_requests[current] += 1
+            self.policy.routed_bytes[current] += ctx.nbytes
+        return current, result
 
     def _order_for_disk(self, extents: list[Extent]) -> list[Extent]:
         """C-SCAN-order a batch of extents by their disk placement."""
@@ -211,6 +327,9 @@ class ReplaySimulator:
         now = self.loop.now
         rec = prog.records[prog.index]
         self._request_count += 1
+        if self._checker is not None:
+            self._checker.on_clock(now, self.env)
+            self._checker.on_record(prog.name, prog.index, rec.size)
         self.env.advance(now)
         self.policy.on_tick(now)
 
@@ -283,7 +402,7 @@ class ReplaySimulator:
                        if p.spec.profiled), default=0.0)
         disk_e = self.env.disk.energy(end_time)
         wnic_e = self.env.wnic.energy(end_time)
-        return RunResult(
+        result = RunResult(
             policy=self.policy.name,
             end_time=end_time,
             foreground_time=fg_time,
@@ -302,4 +421,16 @@ class ReplaySimulator:
             wnic_breakdown=self.env.wnic.meter.breakdown(),
             disk_residency=self.env.disk.residency(end_time),
             wnic_residency=self.env.wnic.residency(end_time),
+            disk_spinup_failures=self.env.disk.spinup_failure_count,
+            fault_retries=dict(self._fault_retries),
+            fault_failovers=dict(self._fault_failovers),
+            fault_wasted_energy=dict(self._fault_wasted),
         )
+        if self._checker is not None:
+            expected = {
+                p.name: (len(p.records), sum(r.size for r in p.records))
+                for p in self.programs}
+            self._checker.on_end(result, expected,
+                                 disk_spec=self.env.disk.spec,
+                                 wnic_spec=self.env.wnic.spec)
+        return result

@@ -24,11 +24,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import TYPE_CHECKING
 
 from repro.devices.dpm import FixedTimeout, SpindownPolicy
 from repro.devices.power import PowerStateMachine, StateSpec, TransitionSpec
 from repro.devices.specs import HITACHI_DK23DA, DiskSpec
 from repro.sim.clock import seconds_to_transfer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.schedule import FaultSchedule
 
 
 class DiskState(str, Enum):
@@ -56,6 +60,9 @@ class DiskServiceResult:
     energy: float
     spun_up: bool
     waited_for_spindown: bool
+    #: fault injection: the spin-up retry budget was exhausted; no bytes
+    #: moved, ``energy`` is the wasted attempts, the caller owns failover.
+    failed: bool = False
 
 
 class HardDisk(PowerStateMachine):
@@ -121,12 +128,23 @@ class HardDisk(PowerStateMachine):
         self.sleep_count = 0
         #: completion time of the last spin-down (quiet-period feedback).
         self._quiet_since: float | None = None
+        #: injected-fault timeline (None = spin-ups always succeed).
+        self._faults: "FaultSchedule | None" = None
+        #: failed spin-up attempts (diagnostics + energy-bound audits).
+        self.spinup_failure_count = 0
+
+    def set_fault_schedule(self, faults: "FaultSchedule | None") -> None:
+        """Attach an injected-fault timeline to this disk."""
+        self._faults = faults
 
     def clone(self) -> "HardDisk":
         new = super().clone()
         # Stateful DPM policies must not share mutable state with
         # what-if clones.
         new._spindown_policy = self._spindown_policy.clone()
+        # What-if clones are blind to the fault schedule: estimation
+        # must neither consume fault state nor foresee failures.
+        new._faults = None
         return new
 
     @property
@@ -238,9 +256,19 @@ class HardDisk(PowerStateMachine):
             spun_up = True
         elif self.state == DiskState.STANDBY.value:
             self._note_quiet_period_end(start)
-            start = self.transition(start, DiskState.ACTIVE.value,
-                                    bucket="disk.spinup")
-            self.spinup_count += 1
+            if self._faults is not None and self._faults.affects_disk:
+                start, gave_up = self._attempt_spinup(start)
+                if gave_up:
+                    e1 = self.meter.total()
+                    energy = e1 - e_pre if not waited else e1 - e0
+                    return DiskServiceResult(
+                        arrival=time, start=start, first_byte=start,
+                        completion=start, energy=energy, spun_up=False,
+                        waited_for_spindown=waited, failed=True)
+            else:
+                start = self.transition(start, DiskState.ACTIVE.value,
+                                        bucket="disk.spinup")
+                self.spinup_count += 1
             spun_up = True
         elif self.state == DiskState.IDLE.value:
             self.transition(start, DiskState.ACTIVE.value)
@@ -264,6 +292,46 @@ class HardDisk(PowerStateMachine):
             arrival=time, start=start, first_byte=first_byte,
             completion=completion, energy=energy, spun_up=spun_up,
             waited_for_spindown=waited)
+
+    def _attempt_spinup(self, t: float) -> tuple[float, bool]:
+        """Demand spin-up under an injected failure schedule.
+
+        Bounded retry with exponential backoff: each failed attempt runs
+        the motor for a full ``spinup_time`` window, burns the full
+        ``spinup_energy``, and leaves the platters in standby; after
+        ``spinup_retries`` retries the disk gives up and reports the
+        failure.  Returns ``(time, gave_up)`` — on success ``time`` is
+        when the disk reaches active, on give-up it is when the final
+        attempt ended.
+        """
+        assert self._faults is not None
+        spec = self._faults.spec
+        attempts = 0
+        while True:
+            if not self._faults.next_spinup_fails():
+                done = self.transition(t, DiskState.ACTIVE.value,
+                                       bucket="disk.spinup")
+                self.spinup_count += 1
+                return done, False
+            # The motor ran the whole spin-up window and never reached
+            # speed: the datasheet energy is burned as an impulse, no
+            # supplemental draw during the window (as for a successful
+            # transition), and the state stays standby.
+            self.meter.advance(t)
+            self.meter.add_impulse(self.spec.spinup_energy,
+                                   "disk.spinup-failed")
+            self.meter.set_power(t, 0.0, "disk.spinup-failed")
+            failed_at = t + self.spec.spinup_time
+            self.meter.advance(failed_at)
+            self.set_state_power(failed_at)
+            self.note_activity(failed_at)
+            self.mark_busy_until(failed_at)
+            self.spinup_failure_count += 1
+            attempts += 1
+            if attempts > spec.spinup_retries:
+                return failed_at, True
+            t = failed_at + spec.spinup_backoff * (2 ** (attempts - 1))
+            self.meter.advance(t)
 
     def force_spinup(self, time: float) -> float:
         """Spin the disk up without a transfer (BlueFS ghost hint).

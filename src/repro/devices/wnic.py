@@ -19,10 +19,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import TYPE_CHECKING
 
 from repro.devices.power import PowerStateMachine, StateSpec, TransitionSpec
 from repro.devices.specs import AIRONET_350, WnicSpec
 from repro.sim.clock import seconds_to_transfer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.faults.schedule import FaultSchedule
 
 
 class WnicMode(str, Enum):
@@ -41,7 +45,12 @@ class Direction(str, Enum):
 
 @dataclass(frozen=True, slots=True)
 class WnicServiceResult:
-    """Outcome of one network request (see :class:`DiskServiceResult`)."""
+    """Outcome of one network request (see :class:`DiskServiceResult`).
+
+    ``failed`` marks a fault-injected attempt that timed out waiting for
+    the link: no bytes moved, ``energy`` is the wasted wait/abort cost,
+    and the caller owns retry or failover.
+    """
 
     arrival: float
     start: float
@@ -49,6 +58,7 @@ class WnicServiceResult:
     completion: float
     energy: float
     woke_up: bool
+    failed: bool = False
 
 
 class WirelessNic(PowerStateMachine):
@@ -85,6 +95,23 @@ class WirelessNic(PowerStateMachine):
         )
         self.wakeup_count = 0
         self.doze_count = 0
+        #: injected-fault timeline (None = the paper's perfect link).
+        self._faults: "FaultSchedule | None" = None
+        #: failed attempts and aborted transfers (diagnostics).
+        self.outage_timeout_count = 0
+        self.aborted_transfer_count = 0
+
+    def set_fault_schedule(self, faults: "FaultSchedule | None") -> None:
+        """Attach an injected-fault timeline to this card."""
+        self._faults = faults
+
+    def clone(self) -> "WirelessNic":
+        new = super().clone()
+        # What-if clones (FlexFetch's §2.2 online simulators) are blind
+        # to the fault schedule: estimation must neither consume fault
+        # state nor foresee outages.
+        new._faults = None
+        return new
 
     # ------------------------------------------------------------------
     # DPM policy
@@ -143,13 +170,22 @@ class WirelessNic(PowerStateMachine):
 
     def service(self, time: float, size_bytes: int, *,
                 direction: Direction = Direction.RECV) -> WnicServiceResult:
-        """Transfer ``size_bytes`` over the link, arriving at ``time``."""
+        """Transfer ``size_bytes`` over the link, arriving at ``time``.
+
+        With a fault schedule attached, the transfer is subject to link
+        outages (the card waits up to ``network_timeout`` for the AP,
+        then reports a failed attempt) and 802.11b rate fallback.
+        """
         if size_bytes < 0:
             raise ValueError("negative request size")
         self.advance_to(time)
         start = max(time, self.busy_until)
         self.meter.advance(start)
         e_pre = self.meter.total()
+
+        if self._faults is not None and self._faults.affects_network:
+            return self._service_with_faults(time, start, size_bytes,
+                                             direction, e_pre)
 
         if self._psm_eligible(size_bytes):
             return self._service_in_psm(time, size_bytes, direction, e_pre)
@@ -181,6 +217,103 @@ class WirelessNic(PowerStateMachine):
         return WnicServiceResult(
             arrival=time, start=start, first_byte=first_byte,
             completion=completion, energy=e1 - e_pre, woke_up=woke)
+
+    # ------------------------------------------------------------------
+    # fault-injected service
+    # ------------------------------------------------------------------
+    def _fail_after_timeout(self, arrival: float, t: float, woke: bool,
+                            e_pre: float) -> WnicServiceResult:
+        """The link is down and will not return within the deadline: the
+        radio scans in CAM for ``network_timeout`` seconds, burns the
+        idle draw, and gives up."""
+        assert self._faults is not None
+        deadline = t + self._faults.spec.network_timeout
+        self.meter.set_power(t, self.spec.cam_idle_power, "wnic.outage")
+        self.meter.advance(deadline)
+        self.set_state_power(deadline)
+        self.note_activity(deadline)
+        self.mark_busy_until(deadline)
+        self.outage_timeout_count += 1
+        return WnicServiceResult(
+            arrival=arrival, start=t, first_byte=deadline,
+            completion=deadline, energy=self.meter.total() - e_pre,
+            woke_up=woke, failed=True)
+
+    def _service_with_faults(self, time: float, start: float,
+                             size_bytes: int, direction: Direction,
+                             e_pre: float) -> WnicServiceResult:
+        """CAM-path transfer under link outages and rate fallback."""
+        faults = self._faults
+        assert faults is not None
+
+        if self._psm_eligible(size_bytes):
+            # Take the PSM fast path only when no fault can touch the
+            # conservative worst-case transfer window.
+            bandwidth = self.spec.bandwidth_bps \
+                * self.spec.psm_bandwidth_factor
+            worst = start + self.spec.beacon_interval + self.spec.latency \
+                + seconds_to_transfer(size_bytes, bandwidth)
+            if (faults.link_available(start)
+                    and faults.outage_start_within(start, worst) is None
+                    and faults.network_bandwidth(
+                        start, self.spec.bandwidth_bps)
+                    == self.spec.bandwidth_bps):
+                return self._service_in_psm(time, size_bytes, direction,
+                                            e_pre)
+
+        woke = False
+        if self.state == WnicMode.PSM.value:
+            start = self.transition(start, WnicMode.CAM.value,
+                                    bucket="wnic.wakeup")
+            self.wakeup_count += 1
+            woke = True
+
+        if not faults.link_available(start):
+            resume = faults.outage_end(start)
+            if resume - start > self._faults.spec.network_timeout:
+                return self._fail_after_timeout(time, start, woke, e_pre)
+            # The link returns inside the deadline: wait it out in CAM
+            # (the radio keeps scanning for the access point).
+            self.meter.set_power(start, self.spec.cam_idle_power,
+                                 "wnic.outage")
+            self.meter.advance(resume)
+            start = resume
+
+        first_byte = start + self.spec.latency
+        bandwidth = faults.network_bandwidth(first_byte,
+                                             self.spec.bandwidth_bps)
+        transfer = seconds_to_transfer(size_bytes, bandwidth)
+        completion = first_byte + transfer
+        busy_power = (self.spec.cam_recv_power
+                      if direction is Direction.RECV
+                      else self.spec.cam_send_power)
+
+        cut = faults.outage_start_within(start, completion)
+        if cut is not None:
+            # The link drops mid-request: bytes moved so far are lost,
+            # the card burns its wait deadline, and the attempt fails.
+            self.meter.set_power(start, self.spec.cam_idle_power,
+                                 "wnic.cam")
+            if cut > first_byte:
+                self.meter.advance(first_byte)
+                self.meter.set_power(first_byte, busy_power,
+                                     f"wnic.{direction.value}-aborted")
+            self.meter.advance(cut)
+            self.aborted_transfer_count += 1
+            return self._fail_after_timeout(time, cut, woke, e_pre)
+
+        self.meter.set_power(start, self.spec.cam_idle_power, "wnic.cam")
+        self.meter.advance(first_byte)
+        self.meter.set_power(first_byte, busy_power,
+                             f"wnic.{direction.value}")
+        self.meter.advance(completion)
+        self.set_state_power(completion)
+        self.note_activity(completion)
+        self.mark_busy_until(completion)
+        return WnicServiceResult(
+            arrival=time, start=start, first_byte=first_byte,
+            completion=completion, energy=self.meter.total() - e_pre,
+            woke_up=woke)
 
     # ------------------------------------------------------------------
     # what-if estimation helpers

@@ -22,16 +22,17 @@ casual-reading execution while the replay is the bursty search run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.core.bluefs import BlueFSPolicy
 from repro.core.flexfetch import FlexFetchConfig, FlexFetchPolicy
 from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
 from repro.core.profile import ExecutionProfile, profile_from_trace
-from repro.core.simulator import ProgramSpec
+from repro.core.simulator import ProgramSpec, ReplaySimulator, RunResult
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import PolicyFactory, SweepPoint, run_sweep
+from repro.faults.schedule import FaultSchedule, FaultSpec
 from repro.traces.synth import (
     generate_acroread_profile_run,
     generate_acroread_search_run,
@@ -40,7 +41,6 @@ from repro.traces.synth import (
     generate_mplayer,
     generate_thunderbird,
 )
-from repro.traces.trace import Trace
 
 
 @dataclass
@@ -195,6 +195,82 @@ def figure5(config: ExperimentConfig | None = None, *, panels: str = "ab",
         lambda: [ProgramSpec(search)], search.name,
         _standard_policies(stale, config, include_static=True), config,
         panels=panels, progress=progress)
+
+
+# ----------------------------------------------------------------------
+# Fault panel — energy under increasing wireless-outage rates
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class FaultSweepPoint:
+    """One (policy, outage rate) cell of the fault panel."""
+
+    policy: str
+    outage_rate: float
+    result: RunResult
+
+    @property
+    def energy(self) -> float:
+        return self.result.total_energy
+
+    @property
+    def time(self) -> float:
+        return self.result.end_time
+
+
+@dataclass
+class FaultPanelResult:
+    """Energy-vs-outage-rate curves for all policies on one workload."""
+
+    workload: str
+    rates: tuple[float, ...]
+    #: policy -> points in ``rates`` order.
+    curves: dict[str, list[FaultSweepPoint]] = field(default_factory=dict)
+
+    def curve_energy(self, policy: str) -> list[float]:
+        return [p.energy for p in self.curves[policy]]
+
+
+def fault_panel(config: ExperimentConfig | None = None, *,
+                scenario: str = "grep+make",
+                rates: tuple[float, ...] = (0.0, 0.002, 0.005, 0.01, 0.02),
+                base_spec: FaultSpec | None = None,
+                strict: bool = False,
+                progress: Callable[[str], None] | None = None
+                ) -> FaultPanelResult:
+    """All four policies' energy as the wireless link degrades.
+
+    Each point replays ``scenario`` at the paper's default link settings
+    under a deterministic :class:`FaultSchedule` whose Poisson outage
+    rate is swept over ``rates`` (a rate of 0 disables the fault layer
+    entirely, giving the fault-free baseline).  Any other fault knobs —
+    rate-fallback windows, spin-up failures — come from ``base_spec``.
+    """
+    from repro.traces.synth.scenarios import build_scenario
+    config = config or ExperimentConfig()
+    built = build_scenario(scenario, seed=config.seed)
+    policies = _standard_policies(built.profile, config)
+    panel = FaultPanelResult(workload=built.name, rates=tuple(rates))
+    panel.curves = {name: [] for name in policies}
+    for rate in rates:
+        spec = replace(base_spec or FaultSpec(), outage_rate=rate)
+        for name, factory in policies.items():
+            # A fresh schedule per run: same seed, same fault timeline
+            # for every policy at this rate.
+            faults = FaultSchedule(spec, seed=config.seed) \
+                if spec.enabled else None
+            sim = ReplaySimulator(
+                list(built.programs), factory(),
+                disk_spec=config.disk_spec, wnic_spec=config.wnic_spec,
+                memory_bytes=config.memory_bytes, seed=config.seed,
+                faults=faults, strict=strict)
+            result = sim.run()
+            panel.curves[name].append(FaultSweepPoint(
+                policy=result.policy, outage_rate=rate, result=result))
+            if progress is not None:
+                progress(f"{name} @ outage={rate:g}/s"
+                         f" -> {result.total_energy:.1f} J"
+                         f" (failovers={sum(result.fault_failovers.values())})")
+    return panel
 
 
 #: Registry used by the CLI and the benchmark harness.

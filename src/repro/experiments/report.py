@@ -11,7 +11,7 @@ from __future__ import annotations
 import io
 from typing import Sequence
 
-from repro.experiments.figures import FigureResult
+from repro.experiments.figures import FaultPanelResult, FigureResult
 from repro.experiments.runner import SweepPoint
 from repro.experiments.tables import TableData
 
@@ -66,6 +66,44 @@ def render_figure(figure: FigureResult) -> str:
         header, rows = _panel_rows(figure.by_bandwidth, "bandwidth(Mbps)")
         out.write(f"\n(b) energy vs WNIC bandwidth @ 1 ms\n")
         out.write(_render_grid(header, rows) + "\n")
+    return out.getvalue()
+
+
+def render_fault_panel(panel: FaultPanelResult) -> str:
+    """Render the fault panel: energy (and failovers) vs outage rate."""
+    policies = list(panel.curves)
+    header = ["outage(/s)"] + [f"{p} (J)" for p in policies]
+    rows: list[list[str]] = []
+    for i, rate in enumerate(panel.rates):
+        row = [f"{rate:g}"]
+        for p in policies:
+            point = panel.curves[p][i]
+            failovers = sum(point.result.fault_failovers.values())
+            cell = f"{point.energy:.1f}"
+            if failovers:
+                cell += f" ({failovers} fo)"
+            row.append(cell)
+        rows.append(row)
+    out = io.StringIO()
+    out.write("=== fault panel: energy vs wireless outage rate ===\n")
+    out.write(f"workload: {panel.workload}"
+              "   (fo = mid-run device failovers)\n\n")
+    out.write(_render_grid(header, rows) + "\n")
+    return out.getvalue()
+
+
+def fault_panel_to_csv(panel: FaultPanelResult) -> str:
+    """CSV export of the fault panel."""
+    out = io.StringIO()
+    out.write("policy,outage_rate,energy_j,time_s,failovers,retries,"
+              "spinup_failures\n")
+    for policy, points in panel.curves.items():
+        for p in points:
+            r = p.result
+            out.write(f"{policy},{p.outage_rate:g},{p.energy:.3f},"
+                      f"{p.time:.3f},{sum(r.fault_failovers.values())},"
+                      f"{sum(r.fault_retries.values())},"
+                      f"{r.disk_spinup_failures}\n")
     return out.getvalue()
 
 

@@ -47,12 +47,19 @@ def _disk_energy_bounds(result: RunResult,
             + res.get("standby", 0.0) * spec.standby_power
             + res.get("sleep", 0.0) * spec.sleep_power)
     impulses = (result.disk_spinups * spec.spinup_energy
-                + result.disk_spindowns * spec.spindown_energy)
+                + result.disk_spindowns * spec.spindown_energy
+                # Injected spin-up failures burn the datasheet impulse
+                # but never leave standby.
+                + result.disk_spinup_failures * spec.spinup_energy)
     # Transition windows are recorded under their destination state's
     # residency but draw zero watts.
     max_window = (result.disk_spinups * spec.spinup_time
                   * spec.active_power
                   + result.disk_spindowns * spec.spindown_time
+                  * spec.standby_power
+                  # Failed spin-up windows sit in standby residency at
+                  # zero supplemental draw.
+                  + result.disk_spinup_failures * spec.spinup_time
                   * spec.standby_power)
     return base + impulses - max_window - 1e-6, base + impulses + 1e-6
 

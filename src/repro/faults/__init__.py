@@ -1,0 +1,34 @@
+"""Fault injection and runtime invariant checking.
+
+The paper's evaluation assumes a perfect wireless link and a disk whose
+spin-ups always succeed.  This package removes that assumption: a
+seeded, deterministic :class:`FaultSchedule` injects link outages,
+802.11b rate fallback, and disk spin-up failures into the device models,
+and :class:`InvariantChecker` gives the simulator a ``strict`` mode that
+verifies physical invariants while the (now much more adversarial)
+replay runs.
+"""
+
+from repro.faults.invariants import (
+    InvariantChecker,
+    SimulationInvariantError,
+    check_result,
+)
+from repro.faults.schedule import (
+    FALLBACK_RATES_BPS,
+    FaultSchedule,
+    FaultSpec,
+    FaultSpecError,
+    RateWindow,
+)
+
+__all__ = [
+    "FALLBACK_RATES_BPS",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultSpecError",
+    "InvariantChecker",
+    "RateWindow",
+    "SimulationInvariantError",
+    "check_result",
+]

@@ -1,0 +1,156 @@
+"""Runtime invariant checking (``strict`` replay mode).
+
+Fault injection makes the simulator walk paths the paper's ideal
+devices never exercised — aborted transfers, failed spin-ups,
+mid-stage failovers — exactly where accounting bugs hide.  The
+:class:`InvariantChecker` rides along with a strict-mode replay and
+raises a structured :class:`SimulationInvariantError` (naming the check
+and the offending event context) the moment one of these breaks:
+
+* **clock monotonicity** — event time never goes backwards;
+* **non-negative energy deltas** — device meters only ever accumulate;
+* **causal service times** — ``arrival <= start <= completion`` for
+  every device service result;
+* **exactly-once servicing** — every data-moving trace record is
+  processed exactly once per program, covering every trace byte;
+* **meter vs residency agreement** — the end-of-run result passes every
+  :func:`repro.experiments.validate.validate_run` conservation check.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.simulator import MobileSystem, RunResult
+
+#: Tolerance for float accumulation error in energy/time comparisons.
+_EPS = 1e-6
+
+
+class SimulationInvariantError(RuntimeError):
+    """A runtime invariant of the replay was violated.
+
+    Attributes
+    ----------
+    check:
+        Short name of the violated invariant (e.g. ``"clock"``).
+    context:
+        The offending event's details (times, energies, record ids).
+    """
+
+    def __init__(self, check: str, message: str,
+                 context: dict[str, Any] | None = None) -> None:
+        self.check = check
+        self.context = dict(context or {})
+        detail = f" [{self._fmt_context()}]" if self.context else ""
+        super().__init__(f"invariant {check!r} violated: {message}{detail}")
+
+    def _fmt_context(self) -> str:
+        return ", ".join(f"{k}={v}" for k, v in sorted(self.context.items()))
+
+
+def check_result(result: "RunResult", **spec_kwargs: Any) -> None:
+    """Raise if ``result`` fails any physical-consistency check.
+
+    Thin strict-mode wrapper over
+    :func:`repro.experiments.validate.validate_run` — the meters, the
+    state residencies, and the routing tallies must all agree.
+    ``spec_kwargs`` (``disk_spec`` / ``wnic_spec``) are forwarded.
+    """
+    # Imported lazily: validate.py imports RunResult from the simulator,
+    # which imports this module.
+    from repro.experiments.validate import validate_run
+    issues = validate_run(result, **spec_kwargs)
+    if issues:
+        first = issues[0]
+        raise SimulationInvariantError(
+            first.check, first.detail,
+            {"policy": result.policy, "issues": len(issues)})
+
+
+class InvariantChecker:
+    """Per-run invariant tracker the simulator drives in strict mode."""
+
+    def __init__(self) -> None:
+        self._last_clock = float("-inf")
+        self._last_energy: dict[str, float] = defaultdict(float)
+        self._serviced: dict[str, set[int]] = defaultdict(set)
+        self._serviced_bytes: dict[str, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # event-time hooks
+    # ------------------------------------------------------------------
+    def on_clock(self, now: float, env: "MobileSystem") -> None:
+        """An event fired at ``now``: clock and meters must move forward."""
+        if now < self._last_clock - _EPS:
+            raise SimulationInvariantError(
+                "clock", "event time went backwards",
+                {"now": now, "previous": self._last_clock})
+        self._last_clock = max(self._last_clock, now)
+        for name, device in (("disk", env.disk), ("wnic", env.wnic)):
+            energy = device.energy()
+            if energy < self._last_energy[name] - _EPS:
+                raise SimulationInvariantError(
+                    "energy", f"{name} meter decreased",
+                    {"now": now, "energy": energy,
+                     "previous": self._last_energy[name]})
+            self._last_energy[name] = max(self._last_energy[name], energy)
+
+    def on_record(self, program: str, index: int, nbytes: int) -> None:
+        """Program ``program`` is processing trace record ``index``."""
+        if index in self._serviced[program]:
+            raise SimulationInvariantError(
+                "exactly-once", "trace record serviced twice",
+                {"program": program, "record": index})
+        self._serviced[program].add(index)
+        self._serviced_bytes[program] += nbytes
+
+    def on_service(self, result: Any, *, program: str, source: str) -> None:
+        """A device finished one extent; its timings must be causal."""
+        arrival = float(getattr(result, "arrival", 0.0))
+        start = float(getattr(result, "start", arrival))
+        completion = float(getattr(result, "completion", start))
+        if not (arrival - _EPS <= start <= completion + _EPS):
+            raise SimulationInvariantError(
+                "service-order",
+                "service result times are not causal",
+                {"program": program, "source": source, "arrival": arrival,
+                 "start": start, "completion": completion})
+        energy = float(getattr(result, "energy", 0.0))
+        if energy < -_EPS:
+            raise SimulationInvariantError(
+                "energy", "negative service energy",
+                {"program": program, "source": source, "energy": energy})
+
+    # ------------------------------------------------------------------
+    # end of run
+    # ------------------------------------------------------------------
+    def on_end(self, result: "RunResult",
+               expected: dict[str, tuple[int, int]], **spec_kwargs: Any
+               ) -> None:
+        """Final audit: record coverage, then meter/residency agreement.
+
+        ``expected`` maps program name to ``(record_count, data_bytes)``
+        from its trace.
+        """
+        for program, (count, nbytes) in expected.items():
+            seen = self._serviced[program]
+            if len(seen) != count or (count and max(seen) != count - 1):
+                missing = sorted(set(range(count)) - seen)[:5]
+                raise SimulationInvariantError(
+                    "exactly-once",
+                    "not every trace record was serviced exactly once",
+                    {"program": program, "expected": count,
+                     "seen": len(seen), "first_missing": missing})
+            if self._serviced_bytes[program] != nbytes:
+                raise SimulationInvariantError(
+                    "exactly-once", "trace bytes serviced != trace bytes",
+                    {"program": program, "expected": nbytes,
+                     "seen": self._serviced_bytes[program]})
+        if result.end_time < self._last_clock - _EPS:
+            raise SimulationInvariantError(
+                "clock", "run ended before its last event",
+                {"end_time": result.end_time, "last": self._last_clock})
+        check_result(result, **spec_kwargs)

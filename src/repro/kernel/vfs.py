@@ -21,7 +21,7 @@ lets FlexFetch's estimator replay the same logic offline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.kernel.cache import TwoQCache
 from repro.kernel.page import (

@@ -10,7 +10,7 @@ the experiment reports stays exact.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 import csv
 import io as _io
 import json
+import math
 from pathlib import Path
 from typing import IO
 
@@ -23,6 +24,42 @@ from repro.traces.record import FileInfo, OpType, SyscallRecord
 from repro.traces.trace import Trace
 
 _FORMAT_VERSION = 1
+
+
+class TraceValidationError(ValueError):
+    """A loaded trace record is physically impossible.
+
+    ``index`` is the 0-based position of the offending record in the
+    trace (also named in the message).
+    """
+
+    def __init__(self, index: int, message: str) -> None:
+        self.index = index
+        super().__init__(f"record {index}: {message}")
+
+
+def _validate_record(index: int, *, offset: float, size: float,
+                     timestamp: float, duration: float,
+                     last_timestamp: float) -> None:
+    """Reject NaN / negative / time-travelling record fields."""
+    for label, value in (("size", size), ("offset", offset),
+                         ("timestamp", timestamp),
+                         ("duration", duration)):
+        if isinstance(value, float) and math.isnan(value):
+            raise TraceValidationError(index, f"{label} is NaN")
+    if size < 0:
+        raise TraceValidationError(index, f"negative size {size}")
+    if offset < 0:
+        raise TraceValidationError(index, f"negative offset {offset}")
+    if timestamp < 0:
+        raise TraceValidationError(
+            index, f"negative timestamp {timestamp}")
+    if duration < 0:
+        raise TraceValidationError(index, f"negative duration {duration}")
+    if timestamp < last_timestamp:
+        raise TraceValidationError(
+            index, f"timestamp {timestamp} earlier than previous"
+            f" record's {last_timestamp} (non-monotonic order)")
 
 
 def _header(trace: Trace) -> dict:
@@ -86,6 +123,7 @@ def _load(fh: IO[str]) -> Trace:
         for f in header["files"]
     }
     records: list[SyscallRecord] = []
+    last_ts = 0.0
     for lineno, line in enumerate(fh, start=2):
         line = line.strip()
         if not line:
@@ -93,6 +131,10 @@ def _load(fh: IO[str]) -> Trace:
         obj = json.loads(line)
         if obj.get("kind") != "rec":
             raise ValueError(f"line {lineno}: expected a record object")
+        _validate_record(len(records), offset=obj["offset"],
+                         size=obj["size"], timestamp=obj["ts"],
+                         duration=obj["dur"], last_timestamp=last_ts)
+        last_ts = obj["ts"]
         records.append(SyscallRecord(
             pid=obj["pid"], fd=obj["fd"], inode=obj["inode"],
             offset=obj["offset"], size=obj["size"], op=OpType(obj["op"]),
@@ -152,6 +194,11 @@ def load_trace_csv(path: str | Path) -> Trace:
                 if not header_seen:
                     raise ValueError("CSV column header missing")
                 pid, fd, inode, offset, size, op, ts, dur = row
+                last_ts = records[-1].timestamp if records else 0.0
+                _validate_record(len(records), offset=int(offset),
+                                 size=int(size), timestamp=float(ts),
+                                 duration=float(dur),
+                                 last_timestamp=last_ts)
                 records.append(SyscallRecord(
                     pid=int(pid), fd=int(fd), inode=int(inode),
                     offset=int(offset), size=int(size), op=OpType(op),

@@ -17,6 +17,7 @@ re-based so the first call is at t=0, matching the synthetic traces.
 from __future__ import annotations
 
 import re
+from dataclasses import dataclass
 from pathlib import Path
 
 from repro.traces.record import FileInfo, OpType, SyscallRecord
@@ -32,7 +33,35 @@ _LINE_RE = re.compile(
 
 
 class StraceParseError(ValueError):
-    """A line did not match the collector format."""
+    """A line did not match the collector format.
+
+    When raised from a multi-line parse, ``lineno`` (1-based) and
+    ``snippet`` locate the offending line; both also appear in the
+    message.
+    """
+
+    def __init__(self, message: str, *, lineno: int | None = None,
+                 snippet: str | None = None) -> None:
+        self.lineno = lineno
+        self.snippet = snippet
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+            if snippet is not None:
+                message += f"  [{snippet}]"
+        super().__init__(message)
+
+
+@dataclass(frozen=True, slots=True)
+class SkippedLine:
+    """One malformed line dropped by a ``skip_malformed`` parse."""
+
+    lineno: int
+    snippet: str
+    reason: str
+
+
+def _snippet(line: str, limit: int = 60) -> str:
+    return line if len(line) <= limit else line[:limit - 3] + "..."
 
 
 def parse_strace_line(line: str) -> tuple[SyscallRecord, str | None]:
@@ -64,14 +93,23 @@ def parse_strace_line(line: str) -> tuple[SyscallRecord, str | None]:
 
 
 def parse_strace_text(text: str, *, name: str = "strace",
-                      file_sizes: dict[int, int] | None = None) -> Trace:
+                      file_sizes: dict[int, int] | None = None,
+                      skip_malformed: bool = False
+                      ) -> "Trace | tuple[Trace, list[SkippedLine]]":
     """Parse a whole collector capture into a :class:`Trace`.
 
     ``file_sizes`` may supply authoritative sizes; otherwise each file's
     size is inferred as the maximum byte touched.  Blank lines and
     ``#`` comments are skipped.
+
+    With ``skip_malformed=True`` (lossy mode, for real-world captures
+    with interleaved noise) malformed lines are dropped instead of
+    fatal, and the return value becomes ``(trace, skipped)`` where
+    ``skipped`` lists every dropped line with its 1-based number,
+    snippet and reason.
     """
     raw: list[tuple[SyscallRecord, str | None]] = []
+    skipped: list[SkippedLine] = []
     for lineno, line in enumerate(text.splitlines(), start=1):
         line = line.strip()
         if not line or line.startswith("#"):
@@ -79,9 +117,17 @@ def parse_strace_text(text: str, *, name: str = "strace",
         try:
             raw.append(parse_strace_line(line))
         except StraceParseError as exc:
-            raise StraceParseError(f"line {lineno}: {exc}") from exc
+            if skip_malformed:
+                skipped.append(SkippedLine(lineno=lineno,
+                                           snippet=_snippet(line),
+                                           reason=str(exc)))
+                continue
+            raise StraceParseError("unparseable collector line",
+                                   lineno=lineno,
+                                   snippet=_snippet(line)) from exc
     if not raw:
-        return Trace(name, [], {})
+        empty = Trace(name, [], {})
+        return (empty, skipped) if skip_malformed else empty
     raw.sort(key=lambda pair: pair[0].timestamp)
     base = raw[0][0].timestamp
 
@@ -107,7 +153,8 @@ def parse_strace_text(text: str, *, name: str = "strace",
             inode=inode,
             path=paths.get(inode, f"inode-{inode}"),
             size_bytes=size)
-    return Trace(name, records, files)
+    trace = Trace(name, records, files)
+    return (trace, skipped) if skip_malformed else trace
 
 
 def parse_strace_file(path: str | Path, *, name: str | None = None,

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sim.clock import MB
 from repro.traces.synth.base import TraceBuilder
 from repro.traces.trace import Trace
 

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.sim.clock import MB
 from repro.traces.synth.base import TraceBuilder, sized_partition
 from repro.traces.trace import Trace
 

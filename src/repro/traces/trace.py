@@ -198,6 +198,7 @@ class Trace:
         return Trace(name or f"{self.name}|{other.name}", records, files)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        footprint = sum(f.size_bytes for f in self.files.values()) / MB
         return (f"<Trace {self.name!r} records={len(self.records)}"
                 f" files={len(self.files)}"
-                f" footprint={sum(f.size_bytes for f in self.files.values()) / MB:.1f}MiB>")
+                f" footprint={footprint:.1f}MiB>")

@@ -9,7 +9,6 @@ from repro.core.simulator import MobileSystem, ProgramSpec, ReplaySimulator
 from repro.devices.disk import DiskState
 from repro.sim.clock import MB
 from repro.traces.record import OpType
-from tests.conftest import make_trace
 
 
 def ctx(now=0.0, nbytes=4096, op=OpType.READ):

@@ -9,7 +9,6 @@ from repro.core.profile import (
     profile_from_trace,
 )
 from repro.traces.record import OpType
-from tests.conftest import make_trace
 
 
 def burst(nbytes, start, dur):

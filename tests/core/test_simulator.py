@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
 from repro.core.simulator import MobileSystem, ProgramSpec, ReplaySimulator
-from repro.devices.specs import AIRONET_350, HITACHI_DK23DA
+from repro.devices.specs import AIRONET_350
 from repro.sim.clock import MB
 from tests.conftest import make_trace
 

@@ -6,7 +6,6 @@ policy, must satisfy the :mod:`repro.experiments.validate` invariants
 few cross-policy laws.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.bluefs import BlueFSPolicy

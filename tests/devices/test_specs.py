@@ -8,8 +8,6 @@ from repro.devices.specs import (
     AIRONET_350,
     HITACHI_DK23DA,
     WNIC_RATES_BPS,
-    DiskSpec,
-    WnicSpec,
 )
 from repro.sim.clock import GB
 

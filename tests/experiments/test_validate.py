@@ -1,7 +1,6 @@
 """Tests for the physical-consistency validators — and, through them,
 energy-conservation integration tests of the whole simulator."""
 
-import dataclasses
 
 import pytest
 

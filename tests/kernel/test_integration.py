@@ -2,9 +2,8 @@
 together through the VFS, on access patterns the workloads actually
 produce."""
 
-import pytest
 
-from repro.kernel.page import PAGE_SIZE, PageId
+from repro.kernel.page import PAGE_SIZE
 from repro.kernel.vfs import VirtualFileSystem
 from repro.kernel.writeback import WritebackConfig
 from repro.sim.clock import MB

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.kernel.page import PAGE_SIZE, Extent
+from repro.kernel.page import PAGE_SIZE
 from repro.kernel.vfs import VirtualFileSystem
 from repro.sim.clock import MB
 

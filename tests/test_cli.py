@@ -86,3 +86,82 @@ class TestInspect:
         assert main(["inspect", "grep+make+xmms"]) == 0
         out = capsys.readouterr().out
         assert "disk-pinned" in out
+
+
+class TestFaultFlags:
+    def test_run_accepts_fault_flags(self):
+        args = build_parser().parse_args(
+            ["run", "xmms", "--faults", "outage-rate=0.01", "--strict"])
+        assert args.faults == "outage-rate=0.01"
+        assert args.strict
+
+    def test_faults_subcommand(self):
+        args = build_parser().parse_args(
+            ["faults", "xmms", "--rates", "0,0.01", "--csv"])
+        assert args.command == "faults"
+        assert args.rates == "0,0.01"
+        assert args.csv
+
+    def test_faulted_run_executes(self, capsys):
+        assert main(["run", "xmms", "--faults",
+                     "outage-rate=0.01,spinup-fail-prob=0.2",
+                     "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "FlexFetch" in out
+
+
+class TestExitCodes:
+    """Every failure path exits nonzero with a one-line message —
+    never a raw traceback."""
+
+    def test_unknown_workload_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["run", "nope"])
+        assert info.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_bad_fault_spec_exits_1(self, capsys):
+        assert main(["run", "xmms", "--faults", "bogus=1"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("flexfetch: error:")
+        assert len(err.strip().splitlines()) == 1
+        assert "Traceback" not in err
+
+    def test_unwritable_output_exits_1(self, capsys):
+        assert main(["trace", "xmms", "--out",
+                     "/nonexistent-dir/x.jsonl"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("flexfetch: error:")
+        assert "Traceback" not in err
+
+    def test_faults_unknown_workload_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            main(["faults", "nope"])
+        assert info.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_faults_bad_rates_exits_2(self, capsys):
+        assert main(["faults", "xmms", "--rates", "fast,slow"]) == 2
+        assert "--rates" in capsys.readouterr().err
+
+    def test_faults_negative_rate_exits_2(self, capsys):
+        assert main(["faults", "xmms", "--rates", "-0.5"]) == 2
+        assert "non-negative" in capsys.readouterr().err
+
+    def test_unknown_subcommand_exits_2(self):
+        with pytest.raises(SystemExit) as info:
+            main(["frobnicate"])
+        assert info.value.code == 2
+
+    def test_trace_validation_error_is_one_line(self, capsys):
+        """A TraceValidationError escaping a handler becomes the
+        standard one-line stderr message, not a traceback."""
+        from unittest import mock
+        from repro.traces.io import TraceValidationError
+        with mock.patch("repro.cli._cmd_tables",
+                        side_effect=TraceValidationError(3, "size is NaN")):
+            assert main(["tables"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("flexfetch: error:")
+        assert "record 3" in err
+        assert "Traceback" not in err

@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 from repro.traces.io import load_trace_jsonl, save_trace_jsonl
 from repro.traces.record import FileInfo, OpType, SyscallRecord
 from repro.traces.trace import Trace
-from tests.conftest import make_trace
 
 
 class TestRoundTrip:
@@ -158,3 +157,87 @@ class TestCsvRoundTrip:
         loaded = load_trace_csv(path)
         assert loaded.records == trace.records
         assert loaded.files == trace.files
+
+
+_HEADER = ('{"kind":"header","version":1,"name":"x",'
+           '"files":[{"inode":1,"path":"a","size":100000}]}\n')
+
+
+def _rec_line(offset=0, size=4096, ts=0.0, dur=0.0):
+    return ('{"kind":"rec","pid":1,"fd":3,"inode":1,'
+            f'"offset":{offset},"size":{size},"op":"read",'
+            f'"ts":{ts},"dur":{dur}}}\n')
+
+
+class TestValidation:
+    """Structured rejection of corrupt record fields (jsonl and CSV)."""
+
+    def _load(self, tmp_path, body):
+        from repro.traces.io import TraceValidationError
+        path = tmp_path / "bad.jsonl"
+        path.write_text(_HEADER + body)
+        with pytest.raises(TraceValidationError) as info:
+            load_trace_jsonl(path)
+        return info.value
+
+    def test_negative_size_rejected(self, tmp_path):
+        err = self._load(tmp_path, _rec_line(size=-1))
+        assert err.index == 0
+        assert "record 0" in str(err)
+        assert "negative size" in str(err)
+
+    def test_negative_timestamp_rejected(self, tmp_path):
+        err = self._load(tmp_path, _rec_line(ts=-0.5))
+        assert "negative timestamp" in str(err)
+
+    def test_nan_timestamp_rejected(self, tmp_path):
+        err = self._load(tmp_path, _rec_line(ts="NaN"))
+        assert "timestamp is NaN" in str(err)
+
+    def test_nan_size_rejected(self, tmp_path):
+        err = self._load(tmp_path, _rec_line(size="NaN"))
+        assert "size is NaN" in str(err)
+
+    def test_non_monotonic_order_rejected(self, tmp_path):
+        err = self._load(tmp_path,
+                         _rec_line(ts=5.0) + _rec_line(ts=2.0))
+        assert err.index == 1
+        assert "non-monotonic" in str(err)
+
+    def test_error_names_record_index(self, tmp_path):
+        body = "".join(_rec_line(ts=float(i)) for i in range(3))
+        err = self._load(tmp_path, body + _rec_line(offset=-4096, ts=9.0))
+        assert err.index == 3
+
+    def test_is_a_value_error(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(_HEADER + _rec_line(size=-1))
+        with pytest.raises(ValueError):
+            load_trace_jsonl(path)
+
+    def test_csv_negative_size_rejected(self, tmp_path):
+        from repro.traces.io import TraceValidationError, load_trace_csv
+        path = tmp_path / "bad.csv"
+        path.write_text("#trace,1,x\npid,fd,inode,offset,size,op,ts,dur\n"
+                        "1,3,1,0,-10,read,0.0,0.0\n")
+        with pytest.raises(TraceValidationError, match="negative size"):
+            load_trace_csv(path)
+
+    def test_csv_non_monotonic_rejected(self, tmp_path):
+        from repro.traces.io import TraceValidationError, load_trace_csv
+        path = tmp_path / "bad.csv"
+        path.write_text("#trace,1,x\npid,fd,inode,offset,size,op,ts,dur\n"
+                        "1,3,1,0,10,read,5.0,0.0\n"
+                        "1,3,1,0,10,read,1.0,0.0\n")
+        with pytest.raises(TraceValidationError, match="non-monotonic") \
+                as info:
+            load_trace_csv(path)
+        assert info.value.index == 1
+
+    def test_csv_nan_timestamp_rejected(self, tmp_path):
+        from repro.traces.io import TraceValidationError, load_trace_csv
+        path = tmp_path / "bad.csv"
+        path.write_text("#trace,1,x\npid,fd,inode,offset,size,op,ts,dur\n"
+                        "1,3,1,0,10,read,NaN,0.0\n")
+        with pytest.raises(TraceValidationError, match="NaN"):
+            load_trace_csv(path)

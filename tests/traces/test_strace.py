@@ -132,3 +132,44 @@ class TestFormatting:
             assert a.offset == b.offset
             assert a.size == b.size
             assert a.timestamp == pytest.approx(b.timestamp, abs=1e-5)
+
+
+class TestStructuredErrors:
+    def test_error_carries_lineno_and_snippet(self):
+        text = ("1 1.0 read(3) inode=1 offset=0 size=10 = 10 <0.1>\n"
+                "this line is junk\n")
+        with pytest.raises(StraceParseError) as info:
+            parse_strace_text(text)
+        assert info.value.lineno == 2
+        assert info.value.snippet == "this line is junk"
+        assert "line 2" in str(info.value)
+        assert "junk" in str(info.value)
+
+    def test_long_snippet_truncated(self):
+        text = "x" * 500 + "\n"
+        with pytest.raises(StraceParseError) as info:
+            parse_strace_text(text)
+        assert len(info.value.snippet) <= 64
+
+
+class TestSkipMalformed:
+    GOOD_1 = "1 1.0 read(3</a>) inode=1 offset=0 size=10 = 10 <0.1>"
+    GOOD_2 = "1 2.0 read(3</a>) inode=1 offset=10 size=10 = 10 <0.1>"
+
+    def test_lossy_mode_returns_trace_and_skipped(self):
+        text = f"{self.GOOD_1}\ngarbage here\n{self.GOOD_2}\n"
+        trace, skipped = parse_strace_text(text, skip_malformed=True)
+        assert len(trace) == 2
+        assert len(skipped) == 1
+        assert skipped[0].lineno == 2
+        assert skipped[0].snippet == "garbage here"
+
+    def test_clean_input_skips_nothing(self):
+        text = f"{self.GOOD_1}\n{self.GOOD_2}\n"
+        trace, skipped = parse_strace_text(text, skip_malformed=True)
+        assert skipped == []
+        assert len(trace) == 2
+
+    def test_strict_mode_unchanged_signature(self):
+        trace = parse_strace_text(f"{self.GOOD_1}\n")
+        assert len(trace) == 1
