@@ -69,4 +69,4 @@ def test_fig3_replay(benchmark, bench_config, workload, fig3_series,
         series = [p.energy for p in fig3_series.by_bandwidth[name]]
         swing = max(series) / min(series)
         assert swing < wnic_swing * 0.3
-        assert all(e <= d * 1.02 for e, d in zip(series, disk_series))
+        assert all(e <= d * 1.02 for e, d in zip(series, disk_series, strict=True))

@@ -43,6 +43,15 @@ from repro.core.simulator import (
 )
 from repro.devices.specs import AIRONET_350, HITACHI_DK23DA, DiskSpec, WnicSpec
 from repro.traces.trace import Trace
+from repro import units
+from repro.units import (
+    Bytes,
+    BytesPerSecond,
+    Joules,
+    Seconds,
+    Watts,
+    approx_eq,
+)
 
 __version__ = "1.0.0"
 
@@ -67,5 +76,12 @@ __all__ = [
     "DiskSpec",
     "WnicSpec",
     "Trace",
+    "units",
+    "Seconds",
+    "Joules",
+    "Watts",
+    "Bytes",
+    "BytesPerSecond",
+    "approx_eq",
     "__version__",
 ]

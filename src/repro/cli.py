@@ -10,6 +10,7 @@
                                      # default link settings
     flexfetch run grep+make --faults outage-rate=0.01 --strict
     flexfetch faults grep+make       # energy vs wireless outage rate
+    flexfetch lint                   # determinism/units static analysis
 
 ``python -m repro`` is equivalent.
 """
@@ -18,7 +19,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.bluefs import BlueFSPolicy
 from repro.core.flexfetch import FlexFetchPolicy
@@ -173,6 +174,16 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import main as lint_main
+    argv: list[str] = list(args.paths)
+    if args.select:
+        argv += ["--select", args.select]
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     from repro.traces.analysis import analyze_trace
     from repro.traces.synth.scenarios import SCENARIOS, build_scenario
@@ -250,6 +261,15 @@ def build_parser() -> argparse.ArgumentParser:
         "inspect", help="burst/think structure report of a scenario")
     p_inspect.add_argument("workload", choices=sorted(SCENARIOS))
 
+    p_lint = sub.add_parser(
+        "lint", help="run the repo's determinism/units static analyzer")
+    p_lint.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories (default: src tests)")
+    p_lint.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids, e.g. R1,R3")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+
     p_trace = sub.add_parser(
         "trace", help="synthesise a workload trace and write it to disk")
     p_trace.add_argument("workload", choices=sorted(TABLE3_GENERATORS))
@@ -279,6 +299,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "faults": _cmd_faults,
         "trace": _cmd_trace,
         "inspect": _cmd_inspect,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

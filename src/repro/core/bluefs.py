@@ -37,6 +37,7 @@ from repro.core.policies import Policy, RequestContext
 from repro.devices.disk import DiskState
 from repro.devices.wnic import Direction
 from repro.traces.record import OpType
+from repro.units import Seconds
 
 
 @dataclass(frozen=True, slots=True)
@@ -139,10 +140,10 @@ class BlueFSPolicy(Policy):
                                          - float(getattr(result, "energy",
                                                          0.0)))
 
-    def begin_run(self, now: float) -> None:
+    def begin_run(self, now: Seconds) -> None:
         self._seen_spindowns = 0
 
-    def on_tick(self, now: float) -> None:
+    def on_tick(self, now: Seconds) -> None:
         """Hints expire when the disk spins down (window closed)."""
         assert self.env is not None
         spindowns = self.env.disk.spindown_count

@@ -18,17 +18,18 @@ run's partial profile as requests stream past (§2.3.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable
+from collections.abc import Iterable
 
 from repro.devices.specs import HITACHI_DK23DA
 from repro.sim.clock import KB
 from repro.traces.record import OpType, SyscallRecord
+from repro.units import Bytes, Seconds
 
 #: Default burst threshold — the disk access time (avg seek + rotation).
 BURST_THRESHOLD_DEFAULT: float = HITACHI_DK23DA.access_time
 
 #: Linux maximum prefetching window (§2.1): merged requests cap here.
-MERGE_LIMIT_BYTES: int = 128 * KB
+MERGE_LIMIT_BYTES: Bytes = 128 * KB
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,21 +70,21 @@ class IOBurst:
             raise ValueError("burst ends before it starts")
 
     @property
-    def nbytes(self) -> int:
+    def nbytes(self) -> Bytes:
         """Total bytes requested in the burst."""
         return sum(r.size for r in self.requests)
 
     @property
-    def duration(self) -> float:
+    def duration(self) -> Seconds:
         """Recorded wall time of the burst."""
         return self.end - self.start
 
     @property
-    def read_bytes(self) -> int:
+    def read_bytes(self) -> Bytes:
         return sum(r.size for r in self.requests if r.op is OpType.READ)
 
     @property
-    def write_bytes(self) -> int:
+    def write_bytes(self) -> Bytes:
         return sum(r.size for r in self.requests if r.op is OpType.WRITE)
 
 

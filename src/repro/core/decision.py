@@ -31,7 +31,7 @@ class DataSource(str, Enum):
     NETWORK = "network"
 
     @property
-    def other(self) -> "DataSource":
+    def other(self) -> DataSource:
         return (DataSource.NETWORK if self is DataSource.DISK
                 else DataSource.DISK)
 

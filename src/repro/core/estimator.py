@@ -20,7 +20,8 @@ requests whose data is resident in the page cache are shrunk or dropped.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Protocol, Sequence
+from collections.abc import Sequence
+from typing import Protocol
 
 from repro.core.burst import IOBurst, ProfiledRequest
 from repro.core.decision import DataSource
@@ -28,6 +29,7 @@ from repro.devices.disk import HardDisk
 from repro.devices.layout import DiskLayout
 from repro.devices.wnic import Direction, WirelessNic
 from repro.traces.record import OpType
+from repro.units import Bytes, Joules, Seconds
 
 
 @dataclass(frozen=True, slots=True)
@@ -36,15 +38,15 @@ class StageEstimate:
 
     source: DataSource
     time: float
-    energy: float
-    nbytes: int
+    energy: Joules
+    nbytes: Bytes
     requests: int
 
 
 class _ResidencyOracle(Protocol):
     """Anything that can answer 'how much of this range is cached?'."""
 
-    def resident_bytes(self, inode: int, offset: int, size: int) -> int: ...
+    def resident_bytes(self, inode: int, offset: int, size: int) -> Bytes: ...
 
 
 def filter_cached(bursts: Sequence[IOBurst],
@@ -80,7 +82,7 @@ def estimate_stage(source: DataSource,
                    bursts: Sequence[IOBurst],
                    thinks: Sequence[float],
                    *,
-                   now: float,
+                   now: Seconds,
                    layout: DiskLayout | None = None,
                    vfs: _ResidencyOracle | None = None,
                    other_device: HardDisk | WirelessNic | None = None,
@@ -161,7 +163,7 @@ def estimate_stage(source: DataSource,
 
 def estimate_both(disk: HardDisk, wnic: WirelessNic,
                   bursts: Sequence[IOBurst], thinks: Sequence[float], *,
-                  now: float, layout: DiskLayout | None = None,
+                  now: Seconds, layout: DiskLayout | None = None,
                   vfs: _ResidencyOracle | None = None
                   ) -> tuple[StageEstimate, StageEstimate]:
     """Both scenarios' estimates for one stage, cross-baselines included."""

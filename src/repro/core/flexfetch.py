@@ -51,6 +51,7 @@ from repro.core.profile import (
     STAGE_LENGTH_DEFAULT,
     ExecutionProfile,
 )
+from repro.units import Joules, Seconds
 
 
 @dataclass(frozen=True, slots=True)
@@ -154,9 +155,9 @@ class FlexFetchPolicy(Policy):
     name = "FlexFetch"
 
     @classmethod
-    def for_programs(cls, profiles: "list[ExecutionProfile]",
-                     config: "FlexFetchConfig | None" = None
-                     ) -> "FlexFetchPolicy":
+    def for_programs(cls, profiles: list[ExecutionProfile],
+                     config: FlexFetchConfig | None = None
+                     ) -> FlexFetchPolicy:
         """Build a policy for concurrently running profiled programs.
 
         §2.3.4: "When multiple programs concurrently issue I/O requests,
@@ -228,7 +229,7 @@ class FlexFetchPolicy(Policy):
     # ------------------------------------------------------------------
     # decision machinery
     # ------------------------------------------------------------------
-    def _decide_from_profile(self, now: float, *, reason: str
+    def _decide_from_profile(self, now: Seconds, *, reason: str
                              ) -> DataSource:
         """Run the §2.2 rules on the upcoming profile slice.
 
@@ -274,7 +275,7 @@ class FlexFetchPolicy(Policy):
         self.decision_log.append((now, source, reason))
         return source
 
-    def _begin_stage(self, now: float, source: DataSource) -> None:
+    def _begin_stage(self, now: Seconds, source: DataSource) -> None:
         assert self.env is not None
         self.current_source = source
         self._stage = _StageAccounting(
@@ -285,17 +286,17 @@ class FlexFetchPolicy(Policy):
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def begin_run(self, now: float) -> None:
+    def begin_run(self, now: Seconds) -> None:
         source = self._decide_from_profile(now, reason="initial")
         self._begin_stage(now, source)
 
-    def end_run(self, now: float) -> None:
+    def end_run(self, now: Seconds) -> None:
         self.tracker.flush()
 
     # ------------------------------------------------------------------
     # stage audit (§2.3.1 second half)
     # ------------------------------------------------------------------
-    def _external_keepalive(self, now: float) -> bool:
+    def _external_keepalive(self, now: Seconds) -> bool:
         """Is something else keeping the disk spun up (§2.3.3)?"""
         if not self.config.feature("free_rider"):
             return False
@@ -306,8 +307,8 @@ class FlexFetchPolicy(Policy):
                 and (t[-1] - t[-2]) < timeout
                 and (now - t[-1]) < timeout)
 
-    def _counterfactual_energy(self, now: float,
-                               alt: DataSource) -> float:
+    def _counterfactual_energy(self, now: Seconds,
+                               alt: DataSource) -> Joules:
         """Replay the observed stage on the alternative device."""
         assert self.env is not None and self._stage is not None
         observed = self._stage.observed
@@ -351,7 +352,7 @@ class FlexFetchPolicy(Policy):
                              min_duration=max(0.0, now - self._stage.start))
         return est.energy
 
-    def _audit_stage(self, now: float) -> None:
+    def _audit_stage(self, now: Seconds) -> None:
         """Compare measured stage energy against the alternative."""
         assert self.env is not None and self._stage is not None
         stage = self._stage
@@ -381,7 +382,7 @@ class FlexFetchPolicy(Policy):
     # ------------------------------------------------------------------
     # runtime hooks
     # ------------------------------------------------------------------
-    def on_tick(self, now: float) -> None:
+    def on_tick(self, now: Seconds) -> None:
         if self._stage is None:
             self._begin_stage(now, self.current_source)
             return
@@ -447,17 +448,17 @@ class FlexFetchPolicy(Policy):
                 self.splice_flips += 1
                 self.current_source = new_source
 
-    def on_external_disk_request(self, now: float) -> None:
+    def on_external_disk_request(self, now: Seconds) -> None:
         self._external_times.append(now)
 
     # -- fault-injection hooks ---------------------------------------------
-    def on_fault(self, now: float, intended: DataSource,
-                 cross_energy: float, attempts: int) -> None:
+    def on_fault(self, now: Seconds, intended: DataSource,
+                 cross_energy: Joules, attempts: int) -> None:
         """Charge fault-recovery waste to the stage audit (§2.3.1)."""
         if self._stage is not None and cross_energy > 0.0:
             self._stage.cross_energy[intended] += cross_energy
 
-    def on_failover(self, now: float, source: DataSource,
+    def on_failover(self, now: Seconds, source: DataSource,
                     fallback: DataSource) -> None:
         """Mid-stage failover: follow the simulator onto the fallback
         device so subsequent requests don't keep hitting the failed one

@@ -25,6 +25,7 @@ exploration, and is reported by ``benchmarks/test_oracle.py``.
 
 from __future__ import annotations
 
+from repro.core.burst import IOBurst
 from repro.core.decision import (
     LOSS_RATE_DEFAULT,
     DataSource,
@@ -39,6 +40,7 @@ from repro.core.profile import (
     profile_from_trace,
 )
 from repro.traces.trace import Trace
+from repro.units import Seconds
 
 
 class ClairvoyantStagePolicy(Policy):
@@ -81,7 +83,8 @@ class ClairvoyantStagePolicy(Policy):
         self.decision_log: list[tuple[float, DataSource]] = []
 
     # ------------------------------------------------------------------
-    def _upcoming(self, nbytes_seen: int):
+    def _upcoming(
+            self, nbytes_seen: int) -> tuple[list[IOBurst], list[float]]:
         start = self.profile.burst_index_for_bytes(nbytes_seen)
         # Look ahead a couple of stages: a one-stage horizon lets
         # one-time costs (an active disk's spin-down tail) dominate and
@@ -97,7 +100,7 @@ class ClairvoyantStagePolicy(Policy):
                 break
         return bursts, thinks
 
-    def _decide(self, now: float) -> None:
+    def _decide(self, now: Seconds) -> None:
         assert self.env is not None
         bursts, thinks = self._upcoming(self._bytes_seen)
         if not bursts:
@@ -125,11 +128,11 @@ class ClairvoyantStagePolicy(Policy):
         self._stage_start = now
 
     # ------------------------------------------------------------------
-    def begin_run(self, now: float) -> None:
+    def begin_run(self, now: Seconds) -> None:
         self._decide(now)
         self._started = True
 
-    def on_tick(self, now: float) -> None:
+    def on_tick(self, now: Seconds) -> None:
         if self._started and now - self._stage_start >= self.stage_length:
             self._decide(now)
 

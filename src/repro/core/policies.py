@@ -17,6 +17,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.decision import DataSource
 from repro.traces.record import OpType
+from repro.units import Bytes, Joules, Seconds
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.simulator import MobileSystem
@@ -32,13 +33,13 @@ class RequestContext:
     therefore gives the policy no choice.
     """
 
-    now: float
+    now: Seconds
     program: str
     profiled: bool
     disk_pinned: bool
     inode: int
     offset: int
-    nbytes: int
+    nbytes: Bytes
     op: OpType
 
 
@@ -48,20 +49,20 @@ class Policy(ABC):
     name: str = "policy"
 
     def __init__(self) -> None:
-        self.env: "MobileSystem | None" = None
+        self.env: MobileSystem | None = None
         #: per-source request/byte tallies for reporting.
         self.routed_requests = {DataSource.DISK: 0, DataSource.NETWORK: 0}
         self.routed_bytes = {DataSource.DISK: 0, DataSource.NETWORK: 0}
 
     # ------------------------------------------------------------------
-    def attach(self, env: "MobileSystem") -> None:
+    def attach(self, env: MobileSystem) -> None:
         """Called once by the simulator before the run starts."""
         self.env = env
 
-    def begin_run(self, now: float) -> None:
+    def begin_run(self, now: Seconds) -> None:
         """Called at simulation start (after attach)."""
 
-    def end_run(self, now: float) -> None:
+    def end_run(self, now: Seconds) -> None:
         """Called after the last request completes."""
 
     # ------------------------------------------------------------------
@@ -93,15 +94,15 @@ class Policy(ABC):
         old profile from this stream.
         """
 
-    def on_tick(self, now: float) -> None:
+    def on_tick(self, now: Seconds) -> None:
         """Called before each syscall is processed (time advances)."""
 
-    def on_external_disk_request(self, now: float) -> None:
+    def on_external_disk_request(self, now: Seconds) -> None:
         """A non-profiled program touched the disk (§2.3.3 free-rider)."""
 
     # -- fault-injection hooks ---------------------------------------------
-    def on_fault(self, now: float, intended: DataSource,
-                 cross_energy: float, attempts: int) -> None:
+    def on_fault(self, now: Seconds, intended: DataSource,
+                 cross_energy: Joules, attempts: int) -> None:
         """A request routed to ``intended`` needed fault recovery.
 
         ``attempts`` counts the failed device attempts in the chain and
@@ -111,7 +112,7 @@ class Policy(ABC):
         decision learns from the failure.
         """
 
-    def on_failover(self, now: float, source: DataSource,
+    def on_failover(self, now: Seconds, source: DataSource,
                     fallback: DataSource) -> None:
         """The simulator abandoned ``source`` mid-request for
         ``fallback`` (retry budget exhausted)."""

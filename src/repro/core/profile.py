@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.core.burst import (
     BURST_THRESHOLD_DEFAULT,
@@ -25,6 +25,7 @@ from repro.core.burst import (
     extract_bursts,
 )
 from repro.traces.trace import Trace
+from repro.units import Bytes, Seconds
 
 #: Default evaluation-stage length (§2.2/§3.1: "40 seconds").
 STAGE_LENGTH_DEFAULT: float = 40.0
@@ -42,8 +43,8 @@ class Stage:
     index: int
     first: int
     last: int
-    duration: float
-    nbytes: int
+    duration: Seconds
+    nbytes: Bytes
 
     @property
     def burst_count(self) -> int:
@@ -82,11 +83,11 @@ class ExecutionProfile:
         return len(self.bursts)
 
     @property
-    def total_bytes(self) -> int:
+    def total_bytes(self) -> Bytes:
         return self._cum_bytes[-1] if self._cum_bytes else 0
 
     @property
-    def total_duration(self) -> float:
+    def total_duration(self) -> Seconds:
         """Recorded wall length: bursts plus inter-burst thinks."""
         return (sum(b.duration for b in self.bursts)
                 + sum(self.thinks[:-1] if self.thinks else ()))
@@ -97,7 +98,7 @@ class ExecutionProfile:
             raise IndexError(burst_index)
         return self._cum_bytes[burst_index]
 
-    def burst_index_for_bytes(self, nbytes: int) -> int:
+    def burst_index_for_bytes(self, nbytes: Bytes) -> Bytes:
         """Index of the first burst whose cumulative bytes reach ``nbytes``.
 
         Returns ``len(self)`` when ``nbytes`` exceeds the whole profile.
@@ -143,7 +144,7 @@ class ExecutionProfile:
 
     # ------------------------------------------------------------------
     def spliced(self, observed_bursts: Sequence[IOBurst],
-                observed_thinks: Sequence[float]) -> "ExecutionProfile":
+                observed_thinks: Sequence[float]) -> ExecutionProfile:
         """The §2.3.1 assembled profile.
 
         The observed (current-run) bursts replace the first N old bursts,
@@ -166,7 +167,7 @@ class ExecutionProfile:
         return ExecutionProfile(bursts, thinks,
                                 name=f"{self.name}+observed")
 
-    def merged_with(self, other: "ExecutionProfile") -> "ExecutionProfile":
+    def merged_with(self, other: ExecutionProfile) -> ExecutionProfile:
         """Aggregate profile of concurrently running programs (§2.3.4).
 
         Bursts are interleaved on their recorded timestamps and think
@@ -175,7 +176,7 @@ class ExecutionProfile:
         events = sorted(list(self.bursts) + list(other.bursts),
                         key=lambda b: b.start)
         thinks: list[float] = []
-        for cur, nxt in zip(events, events[1:]):
+        for cur, nxt in zip(events, events[1:], strict=False):
             thinks.append(max(0.0, nxt.start - cur.end))
         if events:
             thinks.append(0.0)

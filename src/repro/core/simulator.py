@@ -27,11 +27,11 @@ from dataclasses import dataclass, field
 
 from repro.core.decision import DataSource
 from repro.core.policies import Policy, RequestContext
-from repro.devices.disk import DiskState, HardDisk
+from repro.devices.disk import DiskServiceResult, DiskState, HardDisk
 from repro.devices.dpm import SpindownPolicy
 from repro.devices.layout import BLOCK_SIZE, DiskLayout
 from repro.devices.specs import HITACHI_DK23DA, AIRONET_350, DiskSpec, WnicSpec
-from repro.devices.wnic import Direction, WirelessNic
+from repro.devices.wnic import Direction, WirelessNic, WnicServiceResult
 from repro.faults.invariants import InvariantChecker
 from repro.faults.schedule import FaultSchedule
 from repro.kernel.page import Extent
@@ -41,6 +41,7 @@ from repro.sim.clock import MB
 from repro.sim.engine import EventLoop, SimulationError
 from repro.traces.record import OpType, SyscallRecord
 from repro.traces.trace import Trace
+from repro.units import Bytes, Joules, Seconds
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,10 +63,10 @@ class RunResult:
     """Everything a replay produces."""
 
     policy: str
-    end_time: float
-    foreground_time: float
-    disk_energy: float
-    wnic_energy: float
+    end_time: Seconds
+    foreground_time: Seconds
+    disk_energy: Joules
+    wnic_energy: Joules
     requests: int
     device_requests: dict[str, int]
     device_bytes: dict[str, int]
@@ -84,7 +85,7 @@ class RunResult:
     fault_wasted_energy: dict[str, float] = field(default_factory=dict)
 
     @property
-    def total_energy(self) -> float:
+    def total_energy(self) -> Joules:
         """Total I/O energy: disk plus WNIC (the paper's y-axis)."""
         return self.disk_energy + self.wnic_energy
 
@@ -100,7 +101,7 @@ class MobileSystem:
 
     def __init__(self, *, disk_spec: DiskSpec = HITACHI_DK23DA,
                  wnic_spec: WnicSpec = AIRONET_350,
-                 memory_bytes: int = 64 * MB,
+                 memory_bytes: Bytes = 64 * MB,
                  seed: int = 0,
                  spindown_policy: SpindownPolicy | None = None) -> None:
         self.disk = HardDisk(disk_spec, spindown_policy=spindown_policy)
@@ -120,7 +121,7 @@ class MobileSystem:
         """Disk spinning (idle or active)?"""
         return self.disk.state != DiskState.STANDBY.value
 
-    def advance(self, now: float) -> None:
+    def advance(self, now: Seconds) -> None:
         """Advance both devices (DPM timers fire as needed)."""
         self.disk.advance_to(now)
         self.wnic.advance_to(now)
@@ -136,7 +137,7 @@ class _ProgramState:
         # i+1's entry in the recording.
         self.thinks: list[float] = [
             max(0.0, nxt.timestamp - cur.end_time)
-            for cur, nxt in zip(self.records, self.records[1:])
+            for cur, nxt in zip(self.records, self.records[1:], strict=False)
         ]
         self.index = 0
         self.last_completion = 0.0
@@ -158,7 +159,7 @@ class ReplaySimulator:
     def __init__(self, programs: list[ProgramSpec], policy: Policy, *,
                  disk_spec: DiskSpec = HITACHI_DK23DA,
                  wnic_spec: WnicSpec = AIRONET_350,
-                 memory_bytes: int = 64 * MB,
+                 memory_bytes: Bytes = 64 * MB,
                  seed: int = 0,
                  spindown_policy: SpindownPolicy | None = None,
                  faults: FaultSchedule | None = None,
@@ -191,8 +192,9 @@ class ReplaySimulator:
     # ------------------------------------------------------------------
     # device service
     # ------------------------------------------------------------------
-    def _service_extent(self, extent: Extent, source: DataSource,
-                        when: float, op: OpType):
+    def _service_extent(
+            self, extent: Extent, source: DataSource, when: Seconds,
+            op: OpType) -> DiskServiceResult | WnicServiceResult:
         """Move one extent on the chosen device, returning its result."""
         if source is DataSource.DISK:
             block = self.env.layout.block_of(extent.inode,
@@ -204,7 +206,7 @@ class ReplaySimulator:
                                      direction=direction)
 
     def _route_and_service(self, prog: _ProgramState, extent: Extent,
-                           when: float, op: OpType) -> float:
+                           when: Seconds, op: OpType) -> float:
         """Policy-route one extent; returns its completion time."""
         ctx = RequestContext(
             now=when, program=prog.name, profiled=prog.spec.profiled,
@@ -243,8 +245,9 @@ class ReplaySimulator:
 
     def _service_with_recovery(
             self, prog: _ProgramState, extent: Extent,
-            intended: DataSource, when: float, op: OpType,
-            ctx: RequestContext):
+            intended: DataSource, when: Seconds, op: OpType,
+            ctx: RequestContext,
+    ) -> tuple[DataSource, DiskServiceResult | WnicServiceResult]:
         """Service under faults: timeout -> backoff retries -> failover.
 
         A network fetch that hits an outage times out after

@@ -30,6 +30,7 @@ from repro.devices.dpm import FixedTimeout, SpindownPolicy
 from repro.devices.power import PowerStateMachine, StateSpec, TransitionSpec
 from repro.devices.specs import HITACHI_DK23DA, DiskSpec
 from repro.sim.clock import seconds_to_transfer
+from repro.units import Bytes, Joules, Seconds, Watts
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.schedule import FaultSchedule
@@ -57,7 +58,7 @@ class DiskServiceResult:
     start: float
     first_byte: float
     completion: float
-    energy: float
+    energy: Joules
     spun_up: bool
     waited_for_spindown: bool
     #: fault injection: the spin-up retry budget was exhausted; no bytes
@@ -86,7 +87,7 @@ class HardDisk(PowerStateMachine):
     """
 
     def __init__(self, spec: DiskSpec = HITACHI_DK23DA,
-                 start_time: float = 0.0, *,
+                 start_time: Seconds = 0.0, *,
                  initially_standby: bool = True,
                  spindown_policy: SpindownPolicy | None = None) -> None:
         self.spec = spec
@@ -129,15 +130,15 @@ class HardDisk(PowerStateMachine):
         #: completion time of the last spin-down (quiet-period feedback).
         self._quiet_since: float | None = None
         #: injected-fault timeline (None = spin-ups always succeed).
-        self._faults: "FaultSchedule | None" = None
+        self._faults: FaultSchedule | None = None
         #: failed spin-up attempts (diagnostics + energy-bound audits).
         self.spinup_failure_count = 0
 
-    def set_fault_schedule(self, faults: "FaultSchedule | None") -> None:
+    def set_fault_schedule(self, faults: FaultSchedule | None) -> None:
         """Attach an injected-fault timeline to this disk."""
         self._faults = faults
 
-    def clone(self) -> "HardDisk":
+    def clone(self) -> HardDisk:
         new = super().clone()
         # Stateful DPM policies must not share mutable state with
         # what-if clones.
@@ -176,7 +177,7 @@ class HardDisk(PowerStateMachine):
                                 bucket="disk.to-sleep")
                 self.sleep_count += 1
 
-    def _note_quiet_period_end(self, spinup_time: float) -> None:
+    def _note_quiet_period_end(self, spinup_time: Seconds) -> None:
         """Feed the quiet-period length back to the spin-down policy."""
         if self._quiet_since is not None:
             quiet = max(0.0, spinup_time - self._quiet_since)
@@ -197,7 +198,7 @@ class HardDisk(PowerStateMachine):
     #: hops of at most this many 4 KB blocks count as short seeks.
     NEAR_SEEK_BLOCKS = 64
 
-    def positioning_time(self, block: int | None) -> float:
+    def positioning_time(self, block: int | None) -> Seconds:
         """Head-positioning cost to reach ``block`` from the current head.
 
         Distance-dependent, the standard concave seek model:
@@ -227,7 +228,7 @@ class HardDisk(PowerStateMachine):
         seek = self.spec.track_to_track_time + k * frac ** 0.5
         return seek + self.spec.avg_rotation_time
 
-    def service(self, time: float, size_bytes: int, *,
+    def service(self, time: float, size_bytes: Bytes, *,
                 block: int | None = None,
                 block_count: int | None = None) -> DiskServiceResult:
         """Service a ``size_bytes`` request arriving at ``time``.
@@ -356,7 +357,7 @@ class HardDisk(PowerStateMachine):
     # ------------------------------------------------------------------
     # what-if estimation helpers (FlexFetch §2.2 / BlueFS cost model)
     # ------------------------------------------------------------------
-    def estimate_service(self, size_bytes: int, *,
+    def estimate_service(self, size_bytes: Bytes, *,
                          sequential: bool = False,
                          from_state: str | None = None) -> tuple[float, float]:
         """Pure estimate ``(time, energy)`` of servicing a request.
@@ -379,6 +380,6 @@ class HardDisk(PowerStateMachine):
         e += (position + transfer) * self.spec.active_power
         return t, e
 
-    def keep_alive_power(self) -> float:
+    def keep_alive_power(self) -> Watts:
         """Watts to hold the disk spinning but idle (opportunity cost)."""
         return self.spec.idle_power

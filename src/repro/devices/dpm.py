@@ -17,13 +17,14 @@ the spin-down paid off.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from repro.units import Seconds
 
 
 class SpindownPolicy(ABC):
     """Idle-timeout policy for timeout-driven disk DPM."""
 
     @abstractmethod
-    def timeout(self) -> float:
+    def timeout(self) -> Seconds:
         """Current idle threshold in seconds (> 0)."""
 
     def observe_quiet_period(self, quiet: float, breakeven: float) -> None:
@@ -31,7 +32,7 @@ class SpindownPolicy(ABC):
         the disk quiet for ``quiet`` seconds against a ``breakeven``
         requirement.  Fixed policies ignore this."""
 
-    def clone(self) -> "SpindownPolicy":
+    def clone(self) -> SpindownPolicy:
         """Copy for what-if simulation (stateful policies must not share
         mutable state with their clones)."""
         return self
@@ -45,7 +46,7 @@ class FixedTimeout(SpindownPolicy):
             raise ValueError("timeout must be positive")
         self._seconds = float(seconds)
 
-    def timeout(self) -> float:
+    def timeout(self) -> Seconds:
         return self._seconds
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -80,7 +81,7 @@ class AdaptiveTimeout(SpindownPolicy):
         self.premature_count = 0
         self.profitable_count = 0
 
-    def timeout(self) -> float:
+    def timeout(self) -> Seconds:
         return self._timeout
 
     def observe_quiet_period(self, quiet: float, breakeven: float) -> None:
@@ -91,7 +92,7 @@ class AdaptiveTimeout(SpindownPolicy):
             self.profitable_count += 1
             self._timeout = max(self.floor, self._timeout * self.shrink)
 
-    def clone(self) -> "AdaptiveTimeout":
+    def clone(self) -> AdaptiveTimeout:
         new = AdaptiveTimeout(
             initial=min(max(self._timeout, self.floor), self.ceiling),
             floor=self.floor, ceiling=self.ceiling, grow=self.grow,

@@ -18,12 +18,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.sim.rng import make_rng
+from repro.units import Bytes
 
 #: Block size used throughout the kernel path (Linux page size).
 BLOCK_SIZE: int = 4096
 
 
-def bytes_to_blocks(size_bytes: int) -> int:
+def bytes_to_blocks(size_bytes: Bytes) -> int:
     """Number of whole blocks covering ``size_bytes`` (ceil division)."""
     if size_bytes < 0:
         raise ValueError("negative size")
@@ -73,7 +74,7 @@ class DiskLayout:
         self._next_block = 0
         self._files: dict[int, FileExtentMap] = {}
 
-    def add_file(self, inode: int, size_bytes: int) -> FileExtentMap:
+    def add_file(self, inode: int, size_bytes: Bytes) -> FileExtentMap:
         """Place a file; re-registering the same inode must match size."""
         if inode in self._files:
             existing = self._files[inode]

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.sim.metrics import EnergyMeter, StateTimeline
+from repro.units import Joules, Seconds, Watts
 
 
 @dataclass(frozen=True, slots=True)
@@ -27,7 +28,7 @@ class StateSpec:
     """A named power state drawing ``power`` watts while resident."""
 
     name: str
-    power: float
+    power: Watts
 
     def __post_init__(self) -> None:
         if self.power < 0:
@@ -41,7 +42,7 @@ class TransitionSpec:
     src: str
     dst: str
     time: float
-    energy: float
+    energy: Joules
 
     def __post_init__(self) -> None:
         if self.time < 0 or self.energy < 0:
@@ -63,7 +64,7 @@ class PowerStateMachine:
 
     def __init__(self, name: str, states: list[StateSpec],
                  transitions: list[TransitionSpec], initial_state: str,
-                 start_time: float = 0.0) -> None:
+                 start_time: Seconds = 0.0) -> None:
         self.name = name
         self._states = {s.name: s for s in states}
         if len(self._states) != len(states):
@@ -85,7 +86,7 @@ class PowerStateMachine:
         self._busy_until = start_time
 
     # -- cloning for what-if estimation ---------------------------------
-    def clone(self) -> "PowerStateMachine":
+    def clone(self) -> PowerStateMachine:
         """Cheap copy for offline what-if simulation (FlexFetch §2.2).
 
         The clone carries the machine's *current* operating point
@@ -110,7 +111,7 @@ class PowerStateMachine:
         return self._state
 
     @property
-    def busy_until(self) -> float:
+    def busy_until(self) -> Seconds:
         """Absolute time at which the current commitment ends."""
         return self._busy_until
 
@@ -119,11 +120,11 @@ class PowerStateMachine:
         """Time of the most recent demand activity (for DPM timeouts)."""
         return self._last_activity
 
-    def energy(self, upto: float | None = None) -> float:
+    def energy(self, upto: float | None = None) -> Joules:
         """Total joules consumed, optionally extended to time ``upto``."""
         return self.meter.total(upto)
 
-    def residency(self, end_time: float) -> dict[str, float]:
+    def residency(self, end_time: Seconds) -> dict[str, float]:
         """Seconds per state from start to ``end_time``."""
         return self.timeline.residency(end_time)
 
@@ -178,7 +179,7 @@ class PowerStateMachine:
         self.meter.set_power(time, self._states[self._state].power,
                              bucket or f"{self.name}.{self._state}")
 
-    def set_busy_power(self, time: float, watts: float, bucket: str) -> None:
+    def set_busy_power(self, time: float, watts: Watts, bucket: str) -> None:
         """Draw ``watts`` from ``time`` on (e.g. transfer power)."""
         self.meter.set_power(time, watts, bucket)
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 
 from repro.sim.clock import GB, MBps, Mbps
+from repro.units import Bytes, BytesPerSecond, Joules, Seconds, Watts
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,27 +45,27 @@ class DiskSpec:
     """
 
     name: str
-    active_power: float
-    idle_power: float
-    standby_power: float
-    spinup_energy: float
-    spinup_time: float
-    spindown_energy: float
-    spindown_time: float
-    avg_seek_time: float
-    avg_rotation_time: float
-    track_to_track_time: float
-    bandwidth_bps: float
-    spindown_timeout: float
-    capacity_bytes: int
+    active_power: Watts
+    idle_power: Watts
+    standby_power: Watts
+    spinup_energy: Joules
+    spinup_time: Seconds
+    spindown_energy: Joules
+    spindown_time: Seconds
+    avg_seek_time: Seconds
+    avg_rotation_time: Seconds
+    track_to_track_time: Seconds
+    bandwidth_bps: BytesPerSecond
+    spindown_timeout: Seconds
+    capacity_bytes: Bytes
     #: optional fourth state (§1.1): all remaining electronics off; a
     #: hard reset is needed to reactivate.  ``sleep_timeout`` is the
     #: standby dwell before dropping to sleep (None = never, as in the
     #: paper's experiments).
-    sleep_power: float = 0.02
+    sleep_power: Watts = 0.02
     sleep_timeout: float | None = None
-    wake_time: float = 3.2
-    wake_energy: float = 7.5
+    wake_time: Seconds = 3.2
+    wake_energy: Joules = 7.5
 
     def __post_init__(self) -> None:
         for field_name in ("active_power", "idle_power", "standby_power",
@@ -84,12 +85,12 @@ class DiskSpec:
             raise ValueError("sleep timeout must be positive or None")
 
     @property
-    def access_time(self) -> float:
+    def access_time(self) -> Seconds:
         """Average time to the first byte of a random request (seek+rot)."""
         return self.avg_seek_time + self.avg_rotation_time
 
     @property
-    def breakeven_time(self) -> float:
+    def breakeven_time(self) -> Seconds:
         """Minimum quiet period for a spin-down to pay off (§1.1).
 
         Solves ``standby_power * t + spindown_energy + spinup_energy
@@ -102,11 +103,11 @@ class DiskSpec:
         cost = self.spindown_energy + self.spinup_energy
         return cost / saved_per_second
 
-    def with_timeout(self, timeout: float) -> "DiskSpec":
+    def with_timeout(self, timeout: Seconds) -> DiskSpec:
         """Copy of this spec with a different spin-down timeout."""
         return replace(self, spindown_timeout=timeout)
 
-    def with_sleep(self, timeout: float | None) -> "DiskSpec":
+    def with_sleep(self, timeout: float | None) -> DiskSpec:
         """Copy with the sleep state enabled after ``timeout`` seconds
         of standby (None disables it)."""
         return replace(self, sleep_timeout=timeout)
@@ -124,18 +125,18 @@ class WnicSpec:
     """
 
     name: str
-    psm_idle_power: float
-    psm_recv_power: float
-    psm_send_power: float
-    cam_idle_power: float
-    cam_recv_power: float
-    cam_send_power: float
-    cam_to_psm_time: float
-    cam_to_psm_energy: float
-    psm_to_cam_time: float
-    psm_to_cam_energy: float
-    cam_timeout: float
-    bandwidth_bps: float
+    psm_idle_power: Watts
+    psm_recv_power: Watts
+    psm_send_power: Watts
+    cam_idle_power: Watts
+    cam_recv_power: Watts
+    cam_send_power: Watts
+    cam_to_psm_time: Seconds
+    cam_to_psm_energy: Joules
+    psm_to_cam_time: Seconds
+    psm_to_cam_energy: Joules
+    cam_timeout: Seconds
+    bandwidth_bps: BytesPerSecond
     latency: float
     #: §1.1: "Data transmission can be carried out in both CAM and PSM,
     #: but with different latencies and bandwidths."  When enabled,
@@ -145,7 +146,7 @@ class WnicSpec:
     #: only talks to the AP at beacon wake-ups).  Off by default — the
     #: paper's experiments use the CAM-transfer model.
     psm_transfer_enabled: bool = False
-    psm_transfer_max_bytes: int = 16 * 1024
+    psm_transfer_max_bytes: Bytes = 16 * 1024
     psm_bandwidth_factor: float = 0.5
     beacon_interval: float = 0.1
 
@@ -169,12 +170,12 @@ class WnicSpec:
         if self.beacon_interval <= 0:
             raise ValueError("beacon interval must be positive")
 
-    def with_psm_transfers(self, enabled: bool = True) -> "WnicSpec":
+    def with_psm_transfers(self, enabled: bool = True) -> WnicSpec:
         """Copy with PSM-mode data transfers toggled."""
         return replace(self, psm_transfer_enabled=enabled)
 
     def with_link(self, *, bandwidth_bps: float | None = None,
-                  latency: float | None = None) -> "WnicSpec":
+                  latency: float | None = None) -> WnicSpec:
         """Copy with a different link bandwidth and/or latency.
 
         This is the knob the paper's figures sweep: latency 0-20 ms at

@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING
 from repro.devices.power import PowerStateMachine, StateSpec, TransitionSpec
 from repro.devices.specs import AIRONET_350, WnicSpec
 from repro.sim.clock import seconds_to_transfer
+from repro.units import Bytes, Joules, Seconds, approx_eq
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.faults.schedule import FaultSchedule
@@ -56,7 +57,7 @@ class WnicServiceResult:
     start: float
     first_byte: float
     completion: float
-    energy: float
+    energy: Joules
     woke_up: bool
     failed: bool = False
 
@@ -74,7 +75,7 @@ class WirelessNic(PowerStateMachine):
     """
 
     def __init__(self, spec: WnicSpec = AIRONET_350,
-                 start_time: float = 0.0, *,
+                 start_time: Seconds = 0.0, *,
                  initially_psm: bool = True) -> None:
         self.spec = spec
         initial = WnicMode.PSM if initially_psm else WnicMode.CAM
@@ -96,16 +97,16 @@ class WirelessNic(PowerStateMachine):
         self.wakeup_count = 0
         self.doze_count = 0
         #: injected-fault timeline (None = the paper's perfect link).
-        self._faults: "FaultSchedule | None" = None
+        self._faults: FaultSchedule | None = None
         #: failed attempts and aborted transfers (diagnostics).
         self.outage_timeout_count = 0
         self.aborted_transfer_count = 0
 
-    def set_fault_schedule(self, faults: "FaultSchedule | None") -> None:
+    def set_fault_schedule(self, faults: FaultSchedule | None) -> None:
         """Attach an injected-fault timeline to this card."""
         self._faults = faults
 
-    def clone(self) -> "WirelessNic":
+    def clone(self) -> WirelessNic:
         new = super().clone()
         # What-if clones (FlexFetch's §2.2 online simulators) are blind
         # to the fault schedule: estimation must neither consume fault
@@ -131,13 +132,13 @@ class WirelessNic(PowerStateMachine):
     # ------------------------------------------------------------------
     # request service
     # ------------------------------------------------------------------
-    def _psm_eligible(self, size_bytes: int) -> bool:
+    def _psm_eligible(self, size_bytes: Bytes) -> bool:
         """Whether a request can be serviced without leaving PSM."""
         return (self.spec.psm_transfer_enabled
                 and size_bytes <= self.spec.psm_transfer_max_bytes
                 and self.state == WnicMode.PSM.value)
 
-    def _service_in_psm(self, time: float, size_bytes: int,
+    def _service_in_psm(self, time: float, size_bytes: Bytes,
                         direction: Direction,
                         e_pre: float) -> WnicServiceResult:
         """Small-transfer fast path: stay in PSM (§1.1 characteristic 1).
@@ -168,7 +169,7 @@ class WirelessNic(PowerStateMachine):
             completion=completion, energy=self.meter.total() - e_pre,
             woke_up=False)
 
-    def service(self, time: float, size_bytes: int, *,
+    def service(self, time: float, size_bytes: Bytes, *,
                 direction: Direction = Direction.RECV) -> WnicServiceResult:
         """Transfer ``size_bytes`` over the link, arriving at ``time``.
 
@@ -240,7 +241,7 @@ class WirelessNic(PowerStateMachine):
             woke_up=woke, failed=True)
 
     def _service_with_faults(self, time: float, start: float,
-                             size_bytes: int, direction: Direction,
+                             size_bytes: Bytes, direction: Direction,
                              e_pre: float) -> WnicServiceResult:
         """CAM-path transfer under link outages and rate fallback."""
         faults = self._faults
@@ -253,11 +254,12 @@ class WirelessNic(PowerStateMachine):
                 * self.spec.psm_bandwidth_factor
             worst = start + self.spec.beacon_interval + self.spec.latency \
                 + seconds_to_transfer(size_bytes, bandwidth)
+            effective_bps = faults.network_bandwidth(
+                start, self.spec.bandwidth_bps)
             if (faults.link_available(start)
                     and faults.outage_start_within(start, worst) is None
-                    and faults.network_bandwidth(
-                        start, self.spec.bandwidth_bps)
-                    == self.spec.bandwidth_bps):
+                    and approx_eq(effective_bps,
+                                  self.spec.bandwidth_bps)):
                 return self._service_in_psm(time, size_bytes, direction,
                                             e_pre)
 
@@ -318,7 +320,7 @@ class WirelessNic(PowerStateMachine):
     # ------------------------------------------------------------------
     # what-if estimation helpers
     # ------------------------------------------------------------------
-    def estimate_service(self, size_bytes: int, *,
+    def estimate_service(self, size_bytes: Bytes, *,
                          direction: Direction = Direction.RECV,
                          from_state: str | None = None) -> tuple[float, float]:
         """Pure estimate ``(time, energy)`` of a transfer; no mutation."""

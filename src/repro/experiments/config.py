@@ -18,6 +18,7 @@ from repro.devices.specs import (
     WnicSpec,
 )
 from repro.sim.clock import MB, MSEC
+from repro.units import Bytes, BytesPerSecond, Seconds
 
 #: WNIC latency sweep (seconds).  The paper's prose quotes latencies up
 #: to ~15 ms; we extend to 40 ms so every crossover the text describes
@@ -30,8 +31,8 @@ LATENCY_SWEEP: tuple[float, ...] = tuple(
 BANDWIDTH_SWEEP_BPS: tuple[float, ...] = WNIC_RATES_BPS
 
 #: Fixed counterpart values for each sweep (§3.3).
-FIXED_BANDWIDTH_BPS: float = WNIC_RATES_BPS[-1]   # 11 Mbps
-FIXED_LATENCY: float = 1 * MSEC                    # 1 ms
+FIXED_BANDWIDTH_BPS: BytesPerSecond = WNIC_RATES_BPS[-1]   # 11 Mbps
+FIXED_LATENCY: Seconds = 1 * MSEC                    # 1 ms
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,7 +44,7 @@ class ExperimentConfig:
     """
 
     seed: int = 7
-    memory_bytes: int = 64 * MB
+    memory_bytes: Bytes = 64 * MB
     disk_spec: DiskSpec = field(default=HITACHI_DK23DA)
     wnic_spec: WnicSpec = field(default=AIRONET_350)
     loss_rate: float = 0.25

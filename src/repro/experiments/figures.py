@@ -23,7 +23,7 @@ casual-reading execution while the replay is the bursty search run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from collections.abc import Callable
 
 from repro.core.bluefs import BlueFSPolicy
 from repro.core.flexfetch import FlexFetchConfig, FlexFetchPolicy
@@ -41,6 +41,7 @@ from repro.traces.synth import (
     generate_mplayer,
     generate_thunderbird,
 )
+from repro.units import Joules
 
 
 @dataclass
@@ -209,7 +210,7 @@ class FaultSweepPoint:
     result: RunResult
 
     @property
-    def energy(self) -> float:
+    def energy(self) -> Joules:
         return self.result.total_energy
 
     @property

@@ -9,7 +9,7 @@ exported as CSV for external plotting.
 from __future__ import annotations
 
 import io
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.experiments.figures import FaultPanelResult, FigureResult
 from repro.experiments.runner import SweepPoint
@@ -24,7 +24,8 @@ def _render_grid(header: Sequence[str],
         for i, cell in enumerate(row):
             widths[i] = max(widths[i], len(cell))
     def fmt(cells: Sequence[str]) -> str:
-        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+        pairs = zip(cells, widths, strict=True)
+        return "  ".join(c.ljust(w) for c, w in pairs).rstrip()
     lines = [fmt(header), fmt(["-" * w for w in widths])]
     lines.extend(fmt(row) for row in rows)
     return "\n".join(lines)

@@ -9,12 +9,13 @@ report layer renders.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 from repro.core.policies import Policy
 from repro.core.simulator import ProgramSpec, ReplaySimulator, RunResult
 from repro.devices.specs import WnicSpec
 from repro.experiments.config import ExperimentConfig
+from repro.units import BytesPerSecond, Joules
 
 #: Builds a fresh policy instance for one run.
 PolicyFactory = Callable[[], Policy]
@@ -26,11 +27,11 @@ class SweepPoint:
 
     policy: str
     latency: float
-    bandwidth_bps: float
+    bandwidth_bps: BytesPerSecond
     result: RunResult
 
     @property
-    def energy(self) -> float:
+    def energy(self) -> Joules:
         return self.result.total_energy
 
     @property

@@ -10,7 +10,7 @@ quantitative backing for EXPERIMENTS.md's "shape holds" statements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from collections.abc import Callable, Sequence
 
 import numpy as np
 

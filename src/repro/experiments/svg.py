@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import html
 from pathlib import Path
-from typing import Sequence
+from collections.abc import Sequence
 
 from repro.experiments.figures import FigureResult
 from repro.experiments.runner import SweepPoint

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from typing import TYPE_CHECKING, Any
+from repro.units import Bytes, Seconds
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.simulator import MobileSystem, RunResult
@@ -51,7 +52,7 @@ class SimulationInvariantError(RuntimeError):
         return ", ".join(f"{k}={v}" for k, v in sorted(self.context.items()))
 
 
-def check_result(result: "RunResult", **spec_kwargs: Any) -> None:
+def check_result(result: RunResult, **spec_kwargs: Any) -> None:
     """Raise if ``result`` fails any physical-consistency check.
 
     Thin strict-mode wrapper over
@@ -82,7 +83,7 @@ class InvariantChecker:
     # ------------------------------------------------------------------
     # event-time hooks
     # ------------------------------------------------------------------
-    def on_clock(self, now: float, env: "MobileSystem") -> None:
+    def on_clock(self, now: Seconds, env: MobileSystem) -> None:
         """An event fired at ``now``: clock and meters must move forward."""
         if now < self._last_clock - _EPS:
             raise SimulationInvariantError(
@@ -98,7 +99,7 @@ class InvariantChecker:
                      "previous": self._last_energy[name]})
             self._last_energy[name] = max(self._last_energy[name], energy)
 
-    def on_record(self, program: str, index: int, nbytes: int) -> None:
+    def on_record(self, program: str, index: int, nbytes: Bytes) -> None:
         """Program ``program`` is processing trace record ``index``."""
         if index in self._serviced[program]:
             raise SimulationInvariantError(
@@ -127,7 +128,7 @@ class InvariantChecker:
     # ------------------------------------------------------------------
     # end of run
     # ------------------------------------------------------------------
-    def on_end(self, result: "RunResult",
+    def on_end(self, result: RunResult,
                expected: dict[str, tuple[int, int]], **spec_kwargs: Any
                ) -> None:
         """Final audit: record coverage, then meter/residency agreement.

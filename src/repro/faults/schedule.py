@@ -25,12 +25,13 @@ devices never see it.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
 from repro.sim.clock import Mbps
 from repro.sim.rng import DEFAULT_SEED, make_rng
+from repro.units import BytesPerSecond, Seconds
 
 #: The lower 802.11b PHY rates a faulty link can fall back to, in
 #: bytes/second, descending (§3.3 lists 11, 5.5, 2 and 1 Mbps).
@@ -90,7 +91,7 @@ class FaultSpec:
     rate_flap_mean: float = 30.0
     spinup_fail_prob: float = 0.0
     horizon: float = 4000.0
-    network_timeout: float = 5.0
+    network_timeout: Seconds = 5.0
     network_retries: int = 2
     retry_backoff: float = 1.0
     spinup_retries: int = 2
@@ -122,7 +123,7 @@ class FaultSpec:
                 or self.spinup_fail_prob > 0)
 
     @classmethod
-    def parse(cls, text: str) -> "FaultSpec":
+    def parse(cls, text: str) -> FaultSpec:
         """Build a spec from a ``key=value,key=value`` CLI string.
 
         Keys are the dataclass field names; values are coerced to the
@@ -162,7 +163,7 @@ class RateWindow:
 
     start: float
     end: float
-    rate_bps: float
+    rate_bps: BytesPerSecond
 
     def __post_init__(self) -> None:
         if self.end <= self.start:
@@ -274,7 +275,7 @@ class FaultSchedule:
     def affects_disk(self) -> bool:
         return any(self._spinup_failures)
 
-    def copy(self) -> "FaultSchedule":
+    def copy(self) -> FaultSchedule:
         """Same timeline, spin-up cursor rewound (for a fresh run)."""
         new = FaultSchedule(self.spec, seed=self.seed,
                             outages=self.outages,
@@ -312,7 +313,8 @@ class FaultSchedule:
                 return start
         return None
 
-    def network_bandwidth(self, t: float, nominal_bps: float) -> float:
+    def network_bandwidth(self, t: float,
+                          nominal_bps: BytesPerSecond) -> BytesPerSecond:
         """Effective link rate at ``t``: the nominal rate, capped by any
         rate-fallback window in force."""
         for window in self.rate_windows:

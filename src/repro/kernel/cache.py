@@ -24,6 +24,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.kernel.page import Extent, PageId
+from repro.units import Seconds
 
 
 @dataclass
@@ -143,7 +144,7 @@ class TwoQCache:
         return False
 
     def insert(self, page: PageId, *, dirty: bool = False,
-               now: float = 0.0) -> list[PageId]:
+               now: Seconds = 0.0) -> list[PageId]:
         """Install a fetched/written page; returns evicted dirty pages.
 
         Pages whose identity is still in the A1out ghost list go straight
@@ -174,7 +175,7 @@ class TwoQCache:
         flushed.extend(self._reclaim())
         return flushed
 
-    def mark_dirty(self, page: PageId, now: float) -> bool:
+    def mark_dirty(self, page: PageId, now: Seconds) -> bool:
         """Mark a resident page dirty; returns False if not resident."""
         meta = self._a1in.get(page) or self._am.get(page)
         if meta is None:

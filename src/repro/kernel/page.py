@@ -9,7 +9,9 @@ primitive operations the cache, readahead, and write-back modules share.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, NamedTuple
+from collections.abc import Iterable, Iterator
+from typing import NamedTuple
+from repro.units import Bytes
 
 #: Page size (bytes) — matches :data:`repro.devices.layout.BLOCK_SIZE`.
 PAGE_SIZE: int = 4096
@@ -45,7 +47,7 @@ class Extent:
         return self.start + self.npages
 
     @property
-    def nbytes(self) -> int:
+    def nbytes(self) -> Bytes:
         """Size of the extent in bytes."""
         return self.npages * PAGE_SIZE
 
@@ -54,17 +56,17 @@ class Extent:
         for i in range(self.start, self.end):
             yield PageId(self.inode, i)
 
-    def intersects(self, other: "Extent") -> bool:
+    def intersects(self, other: Extent) -> bool:
         """Whether the two extents share any page."""
         return (self.inode == other.inode
                 and self.start < other.end and other.start < self.end)
 
-    def adjacent_or_overlapping(self, other: "Extent") -> bool:
+    def adjacent_or_overlapping(self, other: Extent) -> bool:
         """Whether the two extents can merge into one run."""
         return (self.inode == other.inode
                 and self.start <= other.end and other.start <= self.end)
 
-    def merge(self, other: "Extent") -> "Extent":
+    def merge(self, other: Extent) -> Extent:
         """Union of two mergeable extents (ValueError otherwise)."""
         if not self.adjacent_or_overlapping(other):
             raise ValueError(f"cannot merge disjoint extents {self} {other}")
@@ -72,7 +74,7 @@ class Extent:
         end = max(self.end, other.end)
         return Extent(self.inode, start, end - start)
 
-    def clamp(self, max_end: int) -> "Extent | None":
+    def clamp(self, max_end: int) -> Extent | None:
         """Truncate to ``[start, max_end)``; None if nothing remains."""
         end = min(self.end, max_end)
         if end <= self.start:

@@ -35,6 +35,7 @@ from repro.kernel.page import (
 from repro.kernel.readahead import TwoWindowReadahead
 from repro.kernel.writeback import LaptopModeWriteback, WritebackConfig
 from repro.sim.clock import MB
+from repro.units import Bytes, Seconds
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,7 +59,7 @@ class FetchPlan:
         return not self.fetch_extents
 
     @property
-    def fetch_bytes(self) -> int:
+    def fetch_bytes(self) -> Bytes:
         """Total bytes the device(s) must move for this call."""
         return sum(e.nbytes for e in self.fetch_extents)
 
@@ -68,7 +69,7 @@ class FileMeta:
     """Size bookkeeping for one file."""
 
     inode: int
-    size_bytes: int
+    size_bytes: Bytes
 
     @property
     def pages(self) -> int:
@@ -87,7 +88,7 @@ class VirtualFileSystem:
         Readahead cap, 32 pages (128 KB) per the paper.
     """
 
-    def __init__(self, memory_bytes: int = 64 * MB, *,
+    def __init__(self, memory_bytes: Bytes = 64 * MB, *,
                  readahead_max_pages: int = MAX_READAHEAD_PAGES,
                  writeback_config: WritebackConfig | None = None) -> None:
         if memory_bytes <= 0:
@@ -100,7 +101,7 @@ class VirtualFileSystem:
     # ------------------------------------------------------------------
     # namespace
     # ------------------------------------------------------------------
-    def register_file(self, inode: int, size_bytes: int) -> None:
+    def register_file(self, inode: int, size_bytes: Bytes) -> None:
         """Declare a file's size (trace generators call this up front)."""
         if size_bytes < 0:
             raise ValueError("negative file size")
@@ -122,7 +123,7 @@ class VirtualFileSystem:
     # read path
     # ------------------------------------------------------------------
     def read(self, pid: int, inode: int, offset: int, size: int,
-             now: float) -> FetchPlan:
+             now: Seconds) -> FetchPlan:
         """Service a ``read()`` syscall; returns the device fetch plan.
 
         The caller must follow up with :meth:`complete_fetch` for each
@@ -157,7 +158,7 @@ class VirtualFileSystem:
                                            self.readahead.max_pages))
         return FetchPlan(demand, tuple(fetches), hit_pages, miss_demand)
 
-    def complete_fetch(self, extent: Extent, now: float) -> list[Extent]:
+    def complete_fetch(self, extent: Extent, now: Seconds) -> list[Extent]:
         """Install fetched pages; returns dirty extents evicted en route."""
         flushed: list[PageId] = []
         for page in extent.pages():
@@ -170,7 +171,7 @@ class VirtualFileSystem:
     # write path
     # ------------------------------------------------------------------
     def write(self, pid: int, inode: int, offset: int, size: int,
-              now: float) -> list[Extent]:
+              now: Seconds) -> list[Extent]:
         """Service a ``write()``: dirty the pages, return forced flushes.
 
         Returns extents evicted-dirty during insertion (they must reach
@@ -196,14 +197,14 @@ class VirtualFileSystem:
             self.writeback.note_clean(page)
         return runs_from_pages(flushed)
 
-    def plan_writeback(self, now: float, *, disk_active: bool) -> list[Extent]:
+    def plan_writeback(self, now: Seconds, *, disk_active: bool) -> list[Extent]:
         """Dirty extents due for flushing under laptop-mode policy."""
         return self.writeback.plan_flush(now, disk_active=disk_active)
 
     # ------------------------------------------------------------------
     # profile support (§2.3.2)
     # ------------------------------------------------------------------
-    def resident_bytes(self, inode: int, offset: int, size: int) -> int:
+    def resident_bytes(self, inode: int, offset: int, size: int) -> Bytes:
         """Bytes of the range currently resident in the cache.
 
         FlexFetch's cache filter uses this to drop profiled requests that

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 from repro.kernel.cache import TwoQCache
 from repro.kernel.page import Extent, runs_from_pages
+from repro.units import Seconds
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,7 +65,7 @@ class LaptopModeWriteback:
         self._dirty_times: dict[tuple[int, int], float] = {}
 
     # ------------------------------------------------------------------
-    def note_dirty(self, page, now: float) -> None:
+    def note_dirty(self, page, now: Seconds) -> None:
         """Record a page becoming dirty at ``now``."""
         self._dirty_times.setdefault(tuple(page), now)
 
@@ -76,7 +77,7 @@ class LaptopModeWriteback:
     def dirty_count(self) -> int:
         return len(self._dirty_times)
 
-    def oldest_dirty_age(self, now: float) -> float:
+    def oldest_dirty_age(self, now: Seconds) -> float:
         """Age of the oldest dirty page (0 if none)."""
         if not self._dirty_times:
             return 0.0
@@ -89,7 +90,7 @@ class LaptopModeWriteback:
             return None
         return min(self._dirty_times.values()) + self.config.max_age
 
-    def plan_flush(self, now: float, *, disk_active: bool) -> list[Extent]:
+    def plan_flush(self, now: Seconds, *, disk_active: bool) -> list[Extent]:
         """Extents to flush at ``now``; empty list means nothing due.
 
         Eager when the disk is active (laptop mode), otherwise only when

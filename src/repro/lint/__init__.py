@@ -1,0 +1,41 @@
+"""``repro.lint`` — the repo's own determinism/units static analyzer.
+
+An AST-based checker with four repo-specific rules that generic linters
+cannot express (see DESIGN.md §10 for the catalogue and rationale):
+
+* **R1 determinism** — no wall clocks or unseeded randomness inside the
+  simulator package;
+* **R2 unit-discipline** — physical quantities carry the
+  :mod:`repro.units` aliases, and ``+``/``-``/ordering never mixes
+  dimensions (seconds vs joules);
+* **R3 float-equality** — no ``==``/``!=`` on measured float
+  quantities;
+* **R4 defensive-defaults** — no mutable default arguments or bare
+  ``except``.
+
+Run as ``python -m repro.lint src/ tests/`` or ``flexfetch lint``;
+suppress a finding with ``# repro-lint: ignore[R1]`` on its line.
+"""
+
+from repro.lint.findings import RULES, Finding, Rule
+from repro.lint.runner import (
+    lint_file,
+    lint_paths,
+    lint_source,
+    main,
+    package_relative,
+)
+from repro.lint.suppressions import Suppressions, parse_suppressions
+
+__all__ = [
+    "RULES",
+    "Finding",
+    "Rule",
+    "Suppressions",
+    "parse_suppressions",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "main",
+    "package_relative",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.lint`` — run the static analyzer."""
+
+from repro.lint.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,426 @@
+"""The rule implementations (R1-R4) for :mod:`repro.lint`.
+
+Each rule is an :class:`ast.NodeVisitor` producing :class:`Finding`
+objects.  Rules never import or execute the code under analysis — pure
+syntax, so the analyzer runs identically on any tree (including broken
+work-in-progress checkouts, as long as they parse).
+
+Scope per rule (see DESIGN.md §10):
+
+* **R1** (determinism) — files inside the ``repro`` package except
+  ``repro/sim/rng.py``, the sanctioned randomness front door.
+* **R2/R3** (unit discipline, float equality) — files inside the
+  ``repro`` package.  Tests may compare replays for *exact* equality on
+  purpose (bit-reproducibility assertions), so they are exempt.
+* **R4** (defensive defaults) — every linted file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+from repro.lint.unitinfer import (
+    DIMENSION_ALIASES,
+    FLOAT_DIMENSIONS,
+    UnitEnv,
+    dimension_of_annotation,
+    dimension_of_identifier,
+    is_bare_numeric_annotation,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class FileContext:
+    """Where a file sits, which determines rule applicability."""
+
+    path: str
+    #: path relative to the ``repro`` package root (``("repro", "core",
+    #: "simulator.py")``) or None when the file is outside the package.
+    package_rel: tuple[str, ...] | None
+
+    @property
+    def in_package(self) -> bool:
+        return self.package_rel is not None
+
+    @property
+    def is_rng_module(self) -> bool:
+        return self.package_rel == ("repro", "sim", "rng.py")
+
+
+# ----------------------------------------------------------------------
+# import resolution (shared by R1)
+# ----------------------------------------------------------------------
+class ImportTable:
+    """Maps local names to the dotted module paths they alias."""
+
+    def __init__(self) -> None:
+        self._aliases: dict[str, str] = {}
+
+    def collect(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".", 1)[0]
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and \
+                    node.level == 0:
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted path of a Name/Attribute chain, through import aliases."""
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = self._aliases.get(cur.id, cur.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+# ----------------------------------------------------------------------
+# R1 — determinism
+# ----------------------------------------------------------------------
+#: calls that read the wall clock or the host environment.
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns", "time.process_time",
+    "time.process_time_ns", "time.clock_gettime", "time.localtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: nondeterministic entropy sources.
+_ENTROPY = frozenset({
+    "os.urandom", "os.getrandom", "uuid.uuid1", "uuid.uuid4",
+    "random.SystemRandom",
+})
+
+#: stdlib ``random`` module-level functions (global, shared-state RNG).
+_GLOBAL_RANDOM = frozenset({
+    "random.random", "random.randint", "random.randrange",
+    "random.choice", "random.choices", "random.sample", "random.shuffle",
+    "random.uniform", "random.gauss", "random.normalvariate",
+    "random.expovariate", "random.betavariate", "random.seed",
+    "random.getrandbits", "random.paretovariate", "random.triangular",
+})
+
+#: numpy legacy global-state API; everything except the seeded
+#: Generator machinery is banned.
+_NUMPY_RANDOM_OK = frozenset({
+    "numpy.random.default_rng", "numpy.random.Generator",
+    "numpy.random.SeedSequence", "numpy.random.PCG64",
+    "numpy.random.Philox", "numpy.random.BitGenerator",
+})
+
+
+class DeterminismRule(ast.NodeVisitor):
+    """R1: the simulator may not consult wall clocks or unseeded RNGs."""
+
+    def __init__(self, ctx: FileContext, imports: ImportTable) -> None:
+        self.ctx = ctx
+        self.imports = imports
+        self.findings: list[Finding] = []
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            path=self.ctx.path, line=node.lineno, col=node.col_offset,
+            rule="R1", message=message))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self.imports.resolve(node.func)
+        if dotted is not None:
+            self._check(node, dotted)
+        self.generic_visit(node)
+
+    def _check(self, node: ast.Call, dotted: str) -> None:
+        if dotted in _WALL_CLOCK:
+            self._flag(node, f"wall-clock call {dotted}() — simulation"
+                             " time comes from the event loop, never the"
+                             " host clock")
+            return
+        if dotted in _ENTROPY or dotted.startswith("secrets."):
+            self._flag(node, f"nondeterministic entropy source {dotted}()"
+                             " — derive randomness from the experiment"
+                             " seed via repro.sim.rng")
+            return
+        if dotted in _GLOBAL_RANDOM:
+            self._flag(node, f"global-state RNG call {dotted}() — use a"
+                             " seeded generator from"
+                             " repro.sim.rng.make_rng instead")
+            return
+        if dotted == "random.Random" and not node.args and \
+                not node.keywords:
+            self._flag(node, "unseeded random.Random() — pass an explicit"
+                             " seed derived via repro.sim.rng.child_seed")
+            return
+        if dotted == "numpy.random.default_rng" and not node.args and \
+                not node.keywords:
+            self._flag(node, "unseeded numpy.random.default_rng() — use"
+                             " repro.sim.rng.make_rng(seed, name)")
+            return
+        if dotted.startswith("numpy.random.") and \
+                dotted not in _NUMPY_RANDOM_OK:
+            self._flag(node, f"legacy numpy global RNG {dotted}() — use a"
+                             " seeded Generator from"
+                             " repro.sim.rng.make_rng")
+
+
+# ----------------------------------------------------------------------
+# R2 — unit discipline
+# ----------------------------------------------------------------------
+class UnitDisciplineRule(ast.NodeVisitor):
+    """R2: physical quantities use the aliases; dimensions never mix."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self._env_stack: list[UnitEnv] = [UnitEnv()]
+
+    @property
+    def _env(self) -> UnitEnv:
+        return self._env_stack[-1]
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            path=self.ctx.path, line=node.lineno, col=node.col_offset,
+            rule="R2", message=message))
+
+    # -- annotation discipline -----------------------------------------
+    def _check_arg(self, arg: ast.arg) -> None:
+        if not is_bare_numeric_annotation(arg.annotation):
+            return
+        dim = dimension_of_identifier(arg.arg)
+        if dim is not None:
+            alias = DIMENSION_ALIASES[dim]
+            self._flag(arg, f"parameter {arg.arg!r} is a physical"
+                            f" quantity ({dim}); annotate it with"
+                            f" repro.units.{alias}, not bare"
+                            " float/int")
+
+    def _visit_function(self,
+                        node: ast.FunctionDef | ast.AsyncFunctionDef
+                        ) -> None:
+        args = node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            self._check_arg(arg)
+        if is_bare_numeric_annotation(node.returns):
+            dim = dimension_of_identifier(node.name)
+            if dim is not None:
+                alias = DIMENSION_ALIASES[dim]
+                assert node.returns is not None
+                self._flag(node.returns,
+                           f"function {node.name!r} returns a physical"
+                           f" quantity ({dim}); annotate the return as"
+                           f" repro.units.{alias}, not bare float/int")
+        # Fresh symbol table seeded from the alias-annotated parameters.
+        env = UnitEnv()
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            env.bind_annotation(arg.arg, arg.annotation)
+        self._env_stack.append(env)
+        self.generic_visit(node)
+        self._env_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self._env.bind_annotation(node.target.id, node.annotation)
+            if is_bare_numeric_annotation(node.annotation):
+                dim = dimension_of_identifier(node.target.id)
+                if dim is not None:
+                    alias = DIMENSION_ALIASES[dim]
+                    self._flag(node, f"{node.target.id!r} is a physical"
+                                     f" quantity ({dim}); annotate it"
+                                     f" with repro.units.{alias}")
+        self.generic_visit(node)
+
+    # -- dimensional arithmetic ----------------------------------------
+    def _check_mix(self, node: ast.AST, op: str, left: ast.expr,
+                   right: ast.expr) -> None:
+        ldim = self._env.dimension_of(left)
+        rdim = self._env.dimension_of(right)
+        if ldim is not None and rdim is not None and ldim != rdim:
+            self._flag(node, f"incompatible dimensions in {op!r}:"
+                             f" {ldim} vs {rdim}")
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            op = "+" if isinstance(node.op, ast.Add) else "-"
+            self._check_mix(node, op, node.left, node.right)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            op = "+=" if isinstance(node.op, ast.Add) else "-="
+            self._check_mix(node, op, node.target, node.value)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:],
+                                   strict=False):
+            if isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)):
+                self._check_mix(node, "comparison", left, right)
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# R3 — float equality on measured quantities
+# ----------------------------------------------------------------------
+class FloatEqualityRule(ast.NodeVisitor):
+    """R3: no ``==``/``!=`` on time/energy/power/bandwidth values."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+        self._env_stack: list[UnitEnv] = [UnitEnv()]
+
+    def _flag(self, node: ast.AST, dim: str) -> None:
+        self.findings.append(Finding(
+            path=self.ctx.path, line=node.lineno, col=node.col_offset,
+            rule="R3",
+            message=f"exact equality on a measured {dim} value — use"
+                    " repro.units.approx_eq / is_zero (or math.isclose)"))
+
+    def _visit_function(self,
+                        node: ast.FunctionDef | ast.AsyncFunctionDef
+                        ) -> None:
+        args = node.args
+        env = UnitEnv()
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            env.bind_annotation(arg.arg, arg.annotation)
+        self._env_stack.append(env)
+        self.generic_visit(node)
+        self._env_stack.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if isinstance(node.target, ast.Name):
+            self._env_stack[-1].bind_annotation(node.target.id,
+                                                node.annotation)
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        env = self._env_stack[-1]
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:],
+                                   strict=False):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                dim = env.dimension_of(side)
+                if dim in FLOAT_DIMENSIONS:
+                    self._flag(node, dim)
+                    break
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# R4 — defensive defaults
+# ----------------------------------------------------------------------
+_MUTABLE_CALLS = frozenset({"list", "dict", "set"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _MUTABLE_CALLS)
+
+
+class DefensiveDefaultsRule(ast.NodeVisitor):
+    """R4: no mutable default arguments, no bare ``except:``."""
+
+    def __init__(self, ctx: FileContext) -> None:
+        self.ctx = ctx
+        self.findings: list[Finding] = []
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            path=self.ctx.path, line=node.lineno, col=node.col_offset,
+            rule="R4", message=message))
+
+    def _visit_function(self,
+                        node: ast.FunctionDef | ast.AsyncFunctionDef
+                        ) -> None:
+        for default in (*node.args.defaults, *node.args.kw_defaults):
+            if default is not None and _is_mutable_default(default):
+                self._flag(default, "mutable default argument — use None"
+                                    " and create the object inside the"
+                                    " function")
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._flag(node, "bare except: — name the exceptions; a"
+                             " blind handler swallows invariant"
+                             " violations")
+        self.generic_visit(node)
+
+
+# ----------------------------------------------------------------------
+# orchestration
+# ----------------------------------------------------------------------
+@dataclass(slots=True)
+class _RulePlan:
+    r1: bool = True
+    r2: bool = True
+    r3: bool = True
+    r4: bool = True
+    findings: list[Finding] = field(default_factory=list)
+
+
+def run_rules(tree: ast.AST, ctx: FileContext,
+              select: frozenset[str] | None = None) -> list[Finding]:
+    """Run every applicable rule over a parsed module."""
+    in_pkg = ctx.in_package
+    plan = _RulePlan(
+        r1=in_pkg and not ctx.is_rng_module,
+        r2=in_pkg,
+        r3=in_pkg,
+        r4=True,
+    )
+    visitors: list[DeterminismRule | UnitDisciplineRule
+                   | FloatEqualityRule | DefensiveDefaultsRule] = []
+    if plan.r1 and (select is None or "R1" in select):
+        imports = ImportTable()
+        imports.collect(tree)
+        visitors.append(DeterminismRule(ctx, imports))
+    if plan.r2 and (select is None or "R2" in select):
+        visitors.append(UnitDisciplineRule(ctx))
+    if plan.r3 and (select is None or "R3" in select):
+        visitors.append(FloatEqualityRule(ctx))
+    if plan.r4 and (select is None or "R4" in select):
+        visitors.append(DefensiveDefaultsRule(ctx))
+    findings: list[Finding] = []
+    for visitor in visitors:
+        visitor.visit(tree)
+        findings.extend(visitor.findings)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings

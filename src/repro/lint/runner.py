@@ -1,0 +1,158 @@
+"""File discovery, orchestration, and CLI for :mod:`repro.lint`.
+
+Invocation forms (all equivalent)::
+
+    python -m repro.lint src/ tests/
+    flexfetch lint src/ tests/
+    from repro.lint import lint_paths; lint_paths(["src"])
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path
+
+from repro.lint.findings import RULES, Finding
+from repro.lint.rules import FileContext, run_rules
+from repro.lint.suppressions import parse_suppressions
+
+#: directory names never descended into.
+_SKIP_DIRS = frozenset({
+    "__pycache__", ".git", ".mypy_cache", ".ruff_cache", ".venv",
+    "build", "dist",
+})
+
+
+def package_relative(path: Path) -> tuple[str, ...] | None:
+    """Path relative to the ``repro`` package root, if inside it.
+
+    Recognises both a source checkout (``.../src/repro/...``) and a
+    bare package directory (``.../repro/...``).
+    """
+    parts = path.parts
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return tuple(parts[i:])
+    return None
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under the given files/directories."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if not any(part in _SKIP_DIRS or part.startswith(".")
+                           for part in sub.parts):
+                    yield sub
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise FileNotFoundError(
+                f"not a Python file or directory: {path}")
+
+
+def lint_source(source: str, *, path: str = "<string>",
+                package_rel: tuple[str, ...] | None = None,
+                select: frozenset[str] | None = None) -> list[Finding]:
+    """Lint source text; the workhorse behind every entry point.
+
+    ``package_rel`` positions the snippet for rule scoping; default is
+    *outside* the package (only R4 applies).  Pass e.g.
+    ``("repro", "core", "x.py")`` to lint as if inside the simulator.
+    """
+    suppressions = parse_suppressions(source)
+    if suppressions.skip_file:
+        return []
+    ctx = FileContext(path=path, package_rel=package_rel)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(path=path, line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1, rule="E1",
+                        message=f"syntax error: {exc.msg}")]
+    findings = run_rules(tree, ctx, select=select)
+    return [f for f in findings if suppressions.allows(f)]
+
+
+def lint_file(path: str | Path,
+              select: frozenset[str] | None = None) -> list[Finding]:
+    """Lint one file from disk."""
+    p = Path(path)
+    source = p.read_text(encoding="utf-8")
+    return lint_source(source, path=str(p),
+                       package_rel=package_relative(p), select=select)
+
+
+def lint_paths(paths: Iterable[str | Path],
+               select: frozenset[str] | None = None) -> list[Finding]:
+    """Lint files and directory trees; findings in path order."""
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, select=select))
+    return findings
+
+
+def _render_rule_catalogue() -> str:
+    lines = []
+    for rule in RULES.values():
+        lines.append(f"{rule.id} ({rule.name}): {rule.summary}")
+        lines.append(f"    {rule.rationale}")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.lint",
+        description="FlexFetch repo static analyzer: determinism, unit"
+                    " discipline, float equality, defensive defaults."
+                    " Suppress with '# repro-lint: ignore[R1]'.")
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories (default: src tests)")
+    parser.add_argument("--select", metavar="RULES",
+                        help="comma-separated rule ids to run, e.g."
+                             " R1,R3 (default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress the summary line")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point (``python -m repro.lint``)."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_render_rule_catalogue())
+        return 0
+    select: frozenset[str] | None = None
+    if args.select:
+        select = frozenset(token.strip().upper()
+                           for token in args.select.split(",")
+                           if token.strip())
+        unknown = select - RULES.keys()
+        if unknown:
+            print(f"repro.lint: unknown rule(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+    paths = [p for p in args.paths if Path(p).exists()]
+    if not paths:
+        print("repro.lint: no such paths:"
+              f" {', '.join(map(str, args.paths))}", file=sys.stderr)
+        return 2
+    try:
+        findings = lint_paths(paths, select=select)
+    except (OSError, UnicodeDecodeError) as exc:
+        print(f"repro.lint: error: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if not args.quiet:
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"repro.lint: {len(findings)} {noun}", file=sys.stderr)
+    return 1 if findings else 0

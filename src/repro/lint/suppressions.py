@@ -1,0 +1,59 @@
+"""Suppression-comment parsing for :mod:`repro.lint`.
+
+Two pragmas, both ordinary comments:
+
+* ``# repro-lint: ignore[R1]`` / ``ignore[R1,R3]`` / ``ignore`` —
+  suppress the named rules (or all rules) on that physical line;
+* ``# repro-lint: skip-file`` — skip the whole file (used sparingly;
+  test fixtures that *must* contain violations are the intended user).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.lint.findings import Finding
+
+_PRAGMA = re.compile(
+    r"#\s*repro-lint:\s*(?P<verb>ignore|skip-file)"
+    r"(?:\[(?P<rules>[A-Za-z0-9,\s]+)\])?")
+
+
+@dataclass(frozen=True, slots=True)
+class Suppressions:
+    """Parsed pragmas of one file."""
+
+    skip_file: bool
+    #: line number -> suppressed rule ids; empty set means *all* rules.
+    by_line: dict[int, frozenset[str]]
+
+    def allows(self, finding: Finding) -> bool:
+        """True when the finding survives the file's pragmas."""
+        if self.skip_file:
+            return False
+        rules = self.by_line.get(finding.line)
+        if rules is None:
+            return True
+        return bool(rules) and finding.rule not in rules
+
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Scan source text for ``repro-lint`` pragmas."""
+    skip_file = False
+    by_line: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(line)
+        if match is None:
+            continue
+        if match.group("verb") == "skip-file":
+            skip_file = True
+            continue
+        spec = match.group("rules")
+        if spec is None:
+            by_line[lineno] = frozenset()
+        else:
+            by_line[lineno] = frozenset(
+                token.strip().upper()
+                for token in spec.split(",") if token.strip())
+    return Suppressions(skip_file=skip_file, by_line=by_line)

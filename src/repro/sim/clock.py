@@ -2,52 +2,60 @@
 
 The whole reproduction uses a single convention:
 
-* **time** — float seconds,
-* **data** — integer bytes,
+* **time** — float seconds (:data:`repro.units.Seconds`),
+* **data** — integer bytes (:data:`repro.units.Bytes`),
 * **bandwidth** — bytes per second (helpers convert from the megabit
   figures the paper quotes),
 * **power/energy** — watts / joules.
 
 Keeping the conversions in one place avoids the classic Mb-vs-MB mistake:
 the paper's WNIC is 11 **megabit**/s while the disk moves 35 **megabyte**/s,
-a 25x gap that drives most of its results.
+a 25x gap that drives most of its results.  The conversion arithmetic
+itself lives in :mod:`repro.units`; this module keeps the short,
+simulator-facing names.
 """
 
 from __future__ import annotations
 
+from repro.units import (
+    Bytes,
+    BytesPerSecond,
+    Seconds,
+    approx_eq,
+    megabits_per_second,
+    megabytes_per_second,
+    transfer_seconds,
+)
+
 # Data sizes (binary, as the paper's "128KB prefetching window" is 2**17).
-KB: int = 1024
-MB: int = 1024 * 1024
-GB: int = 1024 * 1024 * 1024
+KB: Bytes = 1024
+MB: Bytes = 1024 * 1024
+GB: Bytes = 1024 * 1024 * 1024
 
 # Time fractions of a second.
-MSEC: float = 1e-3
-USEC: float = 1e-6
+MSEC: Seconds = 1e-3
+USEC: Seconds = 1e-6
 
 #: Smallest meaningful time difference; used to de-jitter float comparisons.
-TIME_EPSILON: float = 1e-9
+TIME_EPSILON: Seconds = 1e-9
 
 
-def Mbps(megabits: float) -> float:
+def Mbps(megabits: float) -> BytesPerSecond:
     """Convert a *megabit-per-second* figure to bytes per second.
 
     Network equipment (and the paper) uses decimal megabits:
     ``Mbps(11)`` -> 1 375 000 bytes/s for the Aironet 350.
     """
-    if megabits < 0:
-        raise ValueError(f"bandwidth cannot be negative: {megabits!r}")
-    return megabits * 1e6 / 8.0
+    return megabits_per_second(megabits)
 
 
-def MBps(megabytes: float) -> float:
+def MBps(megabytes: float) -> BytesPerSecond:
     """Convert a *megabyte-per-second* disk bandwidth to bytes per second."""
-    if megabytes < 0:
-        raise ValueError(f"bandwidth cannot be negative: {megabytes!r}")
-    return megabytes * 1e6
+    return megabytes_per_second(megabytes)
 
 
 def bytes_per_second(*, megabits: float | None = None,
-                     megabytes: float | None = None) -> float:
+                     megabytes: float | None = None) -> BytesPerSecond:
     """Convert either a megabit or a megabyte figure to bytes/second.
 
     Exactly one of the keyword arguments must be given; this is the
@@ -56,27 +64,22 @@ def bytes_per_second(*, megabits: float | None = None,
     if (megabits is None) == (megabytes is None):
         raise ValueError("pass exactly one of megabits= or megabytes=")
     if megabits is not None:
-        return Mbps(megabits)
+        return megabits_per_second(megabits)
     assert megabytes is not None
-    return MBps(megabytes)
+    return megabytes_per_second(megabytes)
 
 
-def seconds_to_transfer(size_bytes: int, bandwidth_bps: float) -> float:
+def seconds_to_transfer(size_bytes: Bytes,
+                        bandwidth_bps: BytesPerSecond) -> Seconds:
     """Time to move ``size_bytes`` at ``bandwidth_bps`` bytes/second.
 
     A zero-byte transfer takes zero time regardless of bandwidth; a
     positive transfer over a non-positive bandwidth is a configuration
     error and raises.
     """
-    if size_bytes < 0:
-        raise ValueError(f"size cannot be negative: {size_bytes!r}")
-    if size_bytes == 0:
-        return 0.0
-    if bandwidth_bps <= 0:
-        raise ValueError(f"bandwidth must be positive: {bandwidth_bps!r}")
-    return size_bytes / bandwidth_bps
+    return transfer_seconds(size_bytes, bandwidth_bps)
 
 
 def almost_equal(a: float, b: float, eps: float = 1e-9) -> bool:
     """Absolute-tolerance float comparison for simulation timestamps."""
-    return abs(a - b) <= eps
+    return approx_eq(a, b, rel_tol=0.0, abs_tol=eps)

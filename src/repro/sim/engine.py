@@ -13,10 +13,11 @@ an event-count circuit breaker for runaway feedback loops).
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro.sim.clock import TIME_EPSILON
 from repro.sim.events import PRIORITY_NORMAL, Event
+from repro.units import Seconds
 
 
 class SimulationError(RuntimeError):
@@ -35,7 +36,7 @@ class EventLoop:
         :class:`SimulationError` instead of spinning forever.
     """
 
-    def __init__(self, start_time: float = 0.0,
+    def __init__(self, start_time: Seconds = 0.0,
                  max_events: int = 50_000_000) -> None:
         self._now = float(start_time)
         self._heap: list[Event] = []
@@ -47,7 +48,7 @@ class EventLoop:
     # clock
     # ------------------------------------------------------------------
     @property
-    def now(self) -> float:
+    def now(self) -> Seconds:
         """Current simulated time in seconds."""
         return self._now
 
@@ -115,7 +116,7 @@ class EventLoop:
             self._running = False
         return self._now
 
-    def run_until(self, deadline: float) -> float:
+    def run_until(self, deadline: Seconds) -> Seconds:
         """Run events with ``time <= deadline``; advance clock to deadline.
 
         Events scheduled beyond the deadline stay pending.  Returns the

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable
+from collections.abc import Callable
 
 #: Priority for internal device/state bookkeeping at an instant.
 PRIORITY_DEVICE = 0

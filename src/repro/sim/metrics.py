@@ -11,7 +11,8 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Iterator
+from collections.abc import Iterator
+from repro.units import Joules, Seconds, Watts, is_zero
 
 
 class StateTimeline:
@@ -22,7 +23,7 @@ class StateTimeline:
     tests.  Consecutive duplicate states are coalesced.
     """
 
-    def __init__(self, initial_state: str, start_time: float = 0.0) -> None:
+    def __init__(self, initial_state: str, start_time: Seconds = 0.0) -> None:
         self._times: list[float] = [start_time]
         self._states: list[str] = [initial_state]
 
@@ -40,16 +41,16 @@ class StateTimeline:
     def current_state(self) -> str:
         return self._states[-1]
 
-    def segments(self, end_time: float) -> Iterator[tuple[float, float, str]]:
+    def segments(self, end_time: Seconds) -> Iterator[tuple[float, float, str]]:
         """Yield ``(start, end, state)`` segments up to ``end_time``."""
-        for i, (t, s) in enumerate(zip(self._times, self._states)):
+        for i, (t, s) in enumerate(zip(self._times, self._states, strict=True)):
             t_next = self._times[i + 1] if i + 1 < len(self._times) else end_time
             if t_next > t:
                 yield (t, min(t_next, end_time), s)
             if t_next >= end_time:
                 break
 
-    def residency(self, end_time: float) -> dict[str, float]:
+    def residency(self, end_time: Seconds) -> dict[str, float]:
         """Seconds spent in each state from start to ``end_time``."""
         out: dict[str, float] = defaultdict(float)
         for start, end, state in self.segments(end_time):
@@ -64,10 +65,10 @@ class StateTimeline:
 class TimeWeightedStat:
     """Running time-weighted mean of a piecewise-constant signal."""
 
-    last_time: float = 0.0
+    last_time: Seconds = 0.0
     last_value: float = 0.0
     weighted_sum: float = 0.0
-    total_time: float = 0.0
+    total_time: Seconds = 0.0
 
     def update(self, time: float, value: float) -> None:
         """Signal changed to ``value`` at ``time``."""
@@ -98,7 +99,7 @@ class EnergyMeter:
     e.g. ``disk.active`` vs ``disk.spinup``.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(self, start_time: Seconds = 0.0) -> None:
         self._last_time = float(start_time)
         self._power = 0.0
         self._bucket = "init"
@@ -113,11 +114,11 @@ class EnergyMeter:
         produces.
         """
         dt = max(0.0, time - self._last_time)
-        if dt > 0.0 and self._power != 0.0:
+        if dt > 0.0 and not is_zero(self._power):
             self._energy[self._bucket] += self._power * dt
         self._last_time = max(time, self._last_time)
 
-    def set_power(self, time: float, watts: float, bucket: str) -> None:
+    def set_power(self, time: float, watts: Watts, bucket: str) -> None:
         """Advance to ``time`` then change the draw to ``watts``."""
         if watts < 0:
             raise ValueError(f"negative power: {watts}")
@@ -125,7 +126,7 @@ class EnergyMeter:
         self._power = watts
         self._bucket = bucket
 
-    def add_impulse(self, joules: float, bucket: str) -> None:
+    def add_impulse(self, joules: Joules, bucket: str) -> None:
         """Add a lump-sum energy cost (e.g. a spin-up) to ``bucket``."""
         if joules < 0:
             raise ValueError(f"negative impulse: {joules}")
@@ -133,11 +134,11 @@ class EnergyMeter:
 
     # -- readout ---------------------------------------------------------
     @property
-    def last_time(self) -> float:
+    def last_time(self) -> Seconds:
         return self._last_time
 
     @property
-    def power(self) -> float:
+    def power(self) -> Watts:
         """Current draw in watts."""
         return self._power
 

@@ -31,7 +31,7 @@ class Distribution:
     maximum: float
 
     @classmethod
-    def of(cls, values) -> "Distribution":
+    def of(cls, values) -> Distribution:
         arr = np.asarray(list(values), dtype=float)
         if arr.size == 0:
             return cls(0, 0.0, 0.0, 0.0, 0.0)

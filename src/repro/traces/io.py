@@ -22,6 +22,7 @@ from typing import IO
 
 from repro.traces.record import FileInfo, OpType, SyscallRecord
 from repro.traces.trace import Trace
+from repro.units import Seconds
 
 _FORMAT_VERSION = 1
 
@@ -39,7 +40,7 @@ class TraceValidationError(ValueError):
 
 
 def _validate_record(index: int, *, offset: float, size: float,
-                     timestamp: float, duration: float,
+                     timestamp: float, duration: Seconds,
                      last_timestamp: float) -> None:
     """Reject NaN / negative / time-travelling record fields."""
     for label, value in (("size", size), ("offset", offset),

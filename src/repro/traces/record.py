@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from repro.units import Bytes, Seconds
 
 
 class OpType(str, Enum):
@@ -63,7 +64,7 @@ class SyscallRecord:
     size: int
     op: OpType
     timestamp: float
-    duration: float = 0.0
+    duration: Seconds = 0.0
 
     def __post_init__(self) -> None:
         if self.offset < 0:
@@ -76,7 +77,7 @@ class SyscallRecord:
             raise ValueError(f"negative duration: {self.duration}")
 
     @property
-    def end_time(self) -> float:
+    def end_time(self) -> Seconds:
         """Time the call returned."""
         return self.timestamp + self.duration
 
@@ -85,7 +86,7 @@ class SyscallRecord:
         """One past the last byte touched."""
         return self.offset + self.size
 
-    def is_sequential_with(self, prev: "SyscallRecord") -> bool:
+    def is_sequential_with(self, prev: SyscallRecord) -> bool:
         """Whether this call continues ``prev`` in the same file."""
         return (self.inode == prev.inode
                 and self.op == prev.op
@@ -98,7 +99,7 @@ class FileInfo:
 
     inode: int
     path: str
-    size_bytes: int
+    size_bytes: Bytes
 
     def __post_init__(self) -> None:
         if self.size_bytes < 0:

@@ -95,7 +95,7 @@ def parse_strace_line(line: str) -> tuple[SyscallRecord, str | None]:
 def parse_strace_text(text: str, *, name: str = "strace",
                       file_sizes: dict[int, int] | None = None,
                       skip_malformed: bool = False
-                      ) -> "Trace | tuple[Trace, list[SkippedLine]]":
+                      ) -> Trace | tuple[Trace, list[SkippedLine]]:
     """Parse a whole collector capture into a :class:`Trace`.
 
     ``file_sizes`` may supply authoritative sizes; otherwise each file's

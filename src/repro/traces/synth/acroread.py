@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 from repro.traces.synth.base import TraceBuilder
 from repro.traces.trace import Trace
+from repro.units import Bytes, Seconds
 
 
 @dataclass(frozen=True, slots=True)
@@ -28,13 +29,13 @@ class AcroreadSearchParams:
     """Search-run knobs (defaults = Table 3: 10 x 20 MB)."""
 
     file_count: int = 10
-    file_bytes: int = 20 * 10**6
+    file_bytes: Bytes = 20 * 10**6
     searches: int = 18
     search_interval: float = 10.0
     chunk: int = 64 * 1024
 
     @property
-    def footprint_bytes(self) -> int:
+    def footprint_bytes(self) -> Bytes:
         return self.file_count * self.file_bytes
 
 
@@ -43,7 +44,7 @@ class AcroreadProfileParams:
     """Profile-run knobs (§3.3.5: 2 MB files, 25 s intervals)."""
 
     file_count: int = 10
-    file_bytes: int = 2 * 10**6
+    file_bytes: Bytes = 2 * 10**6
     reads: int = 16
     read_interval: float = 25.0      # > the 20 s disk time-out
     chunk: int = 64 * 1024
@@ -51,7 +52,7 @@ class AcroreadProfileParams:
 
 def generate_acroread_search_run(
         seed: int = 0, params: AcroreadSearchParams | None = None,
-        *, pid: int = 2006, start_time: float = 0.0) -> Trace:
+        *, pid: int = 2006, start_time: Seconds = 0.0) -> Trace:
     """The *current* execution: bursty keyword searches in 20 MB PDFs.
 
     Each search sweeps one PDF start-to-end (Acroread's text extractor
@@ -72,7 +73,7 @@ def generate_acroread_search_run(
 
 def generate_acroread_profile_run(
         seed: int = 0, params: AcroreadProfileParams | None = None,
-        *, pid: int = 2006, start_time: float = 0.0) -> Trace:
+        *, pid: int = 2006, start_time: Seconds = 0.0) -> Trace:
     """The *recorded* execution: casual reading of small PDFs.
 
     Sparse whole-file reads of 2 MB documents, 25 s apart — the pattern

@@ -15,13 +15,14 @@ import numpy as np
 from repro.sim.rng import make_rng
 from repro.traces.record import FileInfo, OpType, SyscallRecord
 from repro.traces.trace import Trace
+from repro.units import Bytes, Seconds
 
 #: Nominal in-call duration model: warm-disk transfer + a little CPU.
 _NOMINAL_BW = 35e6
 _NOMINAL_OVERHEAD = 0.2e-3
 
 
-def nominal_duration(size: int) -> float:
+def nominal_duration(size: int) -> Seconds:
     """Plausible recorded duration for a call moving ``size`` bytes.
 
     Replay never uses this for device timing — only think-gap derivation
@@ -56,7 +57,7 @@ class TraceBuilder:
     """Stateful builder for one program's trace."""
 
     def __init__(self, name: str, *, seed: int, pid: int = 1000,
-                 start_time: float = 0.0) -> None:
+                 start_time: Seconds = 0.0) -> None:
         self.name = name
         self.rng = make_rng(seed, f"trace:{name}")
         self.pid = pid
@@ -68,7 +69,7 @@ class TraceBuilder:
         self._open_fds: dict[int, int] = {}  # inode -> fd
 
     # -- namespace -------------------------------------------------------
-    def new_file(self, path: str, size_bytes: int) -> int:
+    def new_file(self, path: str, size_bytes: Bytes) -> int:
         """Register a file; returns its inode."""
         inode = self._next_inode
         self._next_inode += 1
@@ -84,7 +85,7 @@ class TraceBuilder:
                                           size_bytes=new_size)
 
     @property
-    def now(self) -> float:
+    def now(self) -> Seconds:
         return self._now
 
     @property
@@ -92,7 +93,7 @@ class TraceBuilder:
         return len(self._files)
 
     @property
-    def footprint_bytes(self) -> int:
+    def footprint_bytes(self) -> Bytes:
         return sum(f.size_bytes for f in self._files.values())
 
     # -- verbs ------------------------------------------------------------
@@ -103,7 +104,7 @@ class TraceBuilder:
         self._now += seconds
 
     def _emit(self, inode: int, offset: int, size: int, op: OpType,
-              duration: float) -> None:
+              duration: Seconds) -> None:
         fd = self._open_fds.get(inode)
         if fd is None:
             fd = self._next_fd

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.traces.synth.base import TraceBuilder, sized_partition
 from repro.traces.trace import Trace
+from repro.units import Bytes, Seconds
 
 
 @dataclass(frozen=True, slots=True)
@@ -21,8 +22,8 @@ class GrepParams:
     """Generator knobs (defaults = Table 3)."""
 
     file_count: int = 1332
-    footprint_bytes: int = int(50.4 * 1e6)
-    chunk_bytes: int = 32 * 1024
+    footprint_bytes: Bytes = int(50.4 * 1e6)
+    chunk_bytes: Bytes = 32 * 1024
     intra_gap: float = 0.2e-3       # between chunks of a file
     inter_file_gap: float = 0.6e-3  # between files (match + readdir work)
 
@@ -34,7 +35,7 @@ class GrepParams:
 
 
 def generate_grep(seed: int = 0, params: GrepParams | None = None,
-                  *, pid: int = 2001, start_time: float = 0.0) -> Trace:
+                  *, pid: int = 2001, start_time: Seconds = 0.0) -> Trace:
     """Generate the grep trace.
 
     Files are registered (and hence laid out on disk) in scan order, so

@@ -25,6 +25,7 @@ from repro.traces.synth.base import (
     sized_partition,
 )
 from repro.traces.trace import Trace
+from repro.units import Bytes, Seconds
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,10 +39,10 @@ class MakeParams:
     source_count: int = 1900
     header_count: int = 500
     object_count: int = 178
-    source_bytes: int = int(38.0 * 1e6)
-    header_bytes: int = int(14.0 * 1e6)
-    object_bytes: int = int(15.5 * 1e6)
-    binary_bytes: int = int(5.0 * 1e6)
+    source_bytes: Bytes = int(38.0 * 1e6)
+    header_bytes: Bytes = int(14.0 * 1e6)
+    object_bytes: Bytes = int(15.5 * 1e6)
+    binary_bytes: Bytes = int(5.0 * 1e6)
     headers_per_step: int = 5
     compile_time_mean: float = 1.7     # lognormal mean of think per step
     compile_time_sigma: float = 0.5
@@ -66,13 +67,13 @@ class MakeParams:
                 + self.object_count + 1)
 
     @property
-    def footprint_bytes(self) -> int:
+    def footprint_bytes(self) -> Bytes:
         return (self.source_bytes + self.header_bytes
                 + self.object_bytes + self.binary_bytes)
 
 
 def generate_make(seed: int = 0, params: MakeParams | None = None,
-                  *, pid: int = 2002, start_time: float = 0.0) -> Trace:
+                  *, pid: int = 2002, start_time: Seconds = 0.0) -> Trace:
     """Generate the kernel-build trace.
 
     One compile step per object file; each step reads a window of
@@ -134,7 +135,7 @@ def generate_make(seed: int = 0, params: MakeParams | None = None,
 
 
 def _generate_parallel(seed: int, p: MakeParams, *, pid: int,
-                       start_time: float) -> Trace:
+                       start_time: Seconds) -> Trace:
     """``make -jN``: compile steps scheduled onto N worker pids.
 
     Workers emit the same step structure as the sequential path

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.sim.clock import MB
 from repro.traces.synth.base import TraceBuilder, sized_partition
 from repro.traces.trace import Trace
+from repro.units import Bytes, Seconds
 
 
 @dataclass(frozen=True, slots=True)
@@ -31,10 +32,10 @@ class MplayerParams:
     """
 
     movie_count: int = 2
-    movie_bytes: int = int(120.0 * 1e6)     # both movies together
+    movie_bytes: Bytes = int(120.0 * 1e6)     # both movies together
     support_count: int = 119
-    support_bytes: int = int(16.3 * 1e6)
-    burst_bytes: int = 1 * MB
+    support_bytes: Bytes = int(16.3 * 1e6)
+    burst_bytes: Bytes = 1 * MB
     read_chunk: int = 64 * 1024
     burst_interval: float = 7.5
 
@@ -43,12 +44,12 @@ class MplayerParams:
         return self.movie_count + self.support_count
 
     @property
-    def footprint_bytes(self) -> int:
+    def footprint_bytes(self) -> Bytes:
         return self.movie_bytes + self.support_bytes
 
 
 def generate_mplayer(seed: int = 0, params: MplayerParams | None = None,
-                     *, pid: int = 2004, start_time: float = 0.0) -> Trace:
+                     *, pid: int = 2004, start_time: Seconds = 0.0) -> Trace:
     """Generate the movie-playback trace.
 
     Startup reads a handful of support files, then each movie streams as
@@ -70,7 +71,7 @@ def generate_mplayer(seed: int = 0, params: MplayerParams | None = None,
         b.read_whole_file(inode)
     b.think(1.5)  # user picks the movie
 
-    for inode, size in zip(movies, movie_sizes):
+    for inode, size in zip(movies, movie_sizes, strict=True):
         offset = 0
         while offset < size:
             burst_end = min(offset + p.burst_bytes, size)

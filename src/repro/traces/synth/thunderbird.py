@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from repro.sim.clock import MB
 from repro.traces.synth.base import TraceBuilder, sized_partition
 from repro.traces.trace import Trace
+from repro.units import Bytes, Seconds
 
 
 @dataclass(frozen=True, slots=True)
@@ -26,9 +27,9 @@ class ThunderbirdParams:
     """Generator knobs (defaults = Table 3)."""
 
     mbox_count: int = 8
-    mbox_bytes: int = int(182.0 * 1e6)
+    mbox_bytes: Bytes = int(182.0 * 1e6)
     support_count: int = 275
-    support_bytes: int = int(6.1 * 1e6)
+    support_bytes: Bytes = int(6.1 * 1e6)
     emails_read: int = 16
     email_bytes_mean: int = 96 * 1024
     read_think_mean: float = 16.0       # "considerable think time"
@@ -40,14 +41,14 @@ class ThunderbirdParams:
         return self.mbox_count + self.support_count
 
     @property
-    def footprint_bytes(self) -> int:
+    def footprint_bytes(self) -> Bytes:
         return self.mbox_bytes + self.support_bytes
 
 
 def generate_thunderbird(seed: int = 0,
                          params: ThunderbirdParams | None = None,
                          *, pid: int = 2005,
-                         start_time: float = 0.0) -> Trace:
+                         start_time: Seconds = 0.0) -> Trace:
     """Generate the email read-then-search trace."""
     p = params or ThunderbirdParams()
     b = TraceBuilder("thunderbird", seed=seed, pid=pid,

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.traces.synth.base import TraceBuilder, sized_partition
 from repro.traces.trace import Trace
+from repro.units import Bytes, Seconds
 
 
 @dataclass(frozen=True, slots=True)
@@ -26,7 +27,7 @@ class XmmsParams:
     """
 
     file_count: int = 116
-    footprint_bytes: int = int(47.9 * 1e6)
+    footprint_bytes: Bytes = int(47.9 * 1e6)
     read_chunk: int = 64 * 1024
     read_interval: float = 4.0
     duration: float | None = None   # stop after this long (None = playlist)
@@ -37,7 +38,7 @@ class XmmsParams:
 
 
 def generate_xmms(seed: int = 0, params: XmmsParams | None = None,
-                  *, pid: int = 2003, start_time: float = 0.0) -> Trace:
+                  *, pid: int = 2003, start_time: Seconds = 0.0) -> Trace:
     """Generate the mp3-playback trace.
 
     Plays the playlist in order: each song is read as periodic
@@ -52,7 +53,7 @@ def generate_xmms(seed: int = 0, params: XmmsParams | None = None,
                             min_size=64 * 1024, sigma=0.3)
     songs = [b.new_file(f"music/track{i:03d}.mp3", s)
              for i, s in enumerate(sizes)]
-    for inode, size in zip(songs, sizes):
+    for inode, size in zip(songs, sizes, strict=True):
         offset = 0
         while offset < size:
             if p.duration is not None \

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.traces.record import FileInfo, OpType, SyscallRecord
 from repro.sim.clock import MB
+from repro.units import Bytes, Seconds
 
 
 @dataclass(frozen=True, slots=True)
@@ -22,11 +23,11 @@ class TraceStats:
 
     name: str
     file_count: int
-    footprint_bytes: int
+    footprint_bytes: Bytes
     record_count: int
-    read_bytes: int
-    write_bytes: int
-    duration: float
+    read_bytes: Bytes
+    write_bytes: Bytes
+    duration: Seconds
     mean_request: float
     think_times: tuple[float, ...] = field(repr=False, default=())
 
@@ -36,7 +37,7 @@ class TraceStats:
         return self.footprint_bytes / 1e6
 
     @property
-    def total_bytes(self) -> int:
+    def total_bytes(self) -> Bytes:
         return self.read_bytes + self.write_bytes
 
     def think_percentile(self, q: float) -> float:
@@ -93,7 +94,7 @@ class Trace:
         return iter(self.records)
 
     @property
-    def duration(self) -> float:
+    def duration(self) -> Seconds:
         """End time of the last call (0 for an empty trace)."""
         if not self.records:
             return 0.0
@@ -114,7 +115,7 @@ class Trace:
         read_bytes = sum(r.size for r in data if r.op is OpType.READ)
         write_bytes = sum(r.size for r in data if r.op is OpType.WRITE)
         thinks: list[float] = []
-        for prev, cur in zip(data, data[1:]):
+        for prev, cur in zip(data, data[1:], strict=False):
             thinks.append(max(0.0, cur.timestamp - prev.end_time))
         sizes = [r.size for r in data]
         return TraceStats(
@@ -130,7 +131,7 @@ class Trace:
         )
 
     # ------------------------------------------------------------------
-    def shifted(self, dt: float) -> "Trace":
+    def shifted(self, dt: Seconds) -> Trace:
         """Copy with all timestamps moved by ``dt`` (>= 0 result)."""
         records = []
         for r in self.records:
@@ -142,7 +143,7 @@ class Trace:
                 size=r.size, op=r.op, timestamp=ts, duration=r.duration))
         return Trace(self.name, records, self.files)
 
-    def renumbered(self, inode_offset: int) -> "Trace":
+    def renumbered(self, inode_offset: int) -> Trace:
         """Copy with every inode shifted by ``inode_offset``.
 
         Generators all start numbering at 1; composing two independent
@@ -165,8 +166,8 @@ class Trace:
         """Largest inode in the file set (0 for an empty trace)."""
         return max(self.files, default=0)
 
-    def concat(self, other: "Trace", *, gap: float = 0.0,
-               name: str | None = None) -> "Trace":
+    def concat(self, other: Trace, *, gap: float = 0.0,
+               name: str | None = None) -> Trace:
         """This trace followed by ``other`` after ``gap`` seconds.
 
         Inode spaces must be disjoint or agree on file sizes; this is how
@@ -184,7 +185,7 @@ class Trace:
         return Trace(name or f"{self.name}+{other.name}",
                      list(self.records) + list(shifted.records), files)
 
-    def merged(self, other: "Trace", *, name: str | None = None) -> "Trace":
+    def merged(self, other: Trace, *, name: str | None = None) -> Trace:
         """Timestamp-interleaved union (concurrent programs, §2.3.4)."""
         for inode, info in other.files.items():
             mine = self.files.get(inode)

@@ -130,7 +130,7 @@ class TestOnlineTracker:
                             r.timestamp, r.end_time)
         tracker.flush()
         assert len(tracker.bursts) == len(offline_bursts)
-        for a, b in zip(tracker.bursts, offline_bursts):
+        for a, b in zip(tracker.bursts, offline_bursts, strict=True):
             assert a.requests == b.requests
         assert tracker.thinks == pytest.approx(offline_thinks)
 
@@ -195,6 +195,6 @@ class TestProperties:
         # (computed on the accumulated floats, exactly as the extractor
         # sees them — summing the raw gaps would disagree by one ULP).
         realised = [b.timestamp - a.timestamp
-                    for a, b in zip(records, records[1:])]
+                    for a, b in zip(records, records[1:], strict=False)]
         expected = 1 + sum(1 for g in realised if g >= 0.5)
         assert len(bursts) == expected

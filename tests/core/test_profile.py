@@ -92,7 +92,7 @@ class TestStages:
         stages = p.stages(40.0)
         assert stages[0].first == 0
         assert stages[-1].last == 24
-        for a, b in zip(stages, stages[1:]):
+        for a, b in zip(stages, stages[1:], strict=False):
             assert b.first == a.last + 1
 
     def test_stage_slice(self):

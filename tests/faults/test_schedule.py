@@ -84,7 +84,7 @@ class TestScheduleGeneration:
         spec = FaultSpec(outage_rate=0.1, outage_mean=10.0)
         sched = FaultSchedule(spec, seed=3)
         assert sched.outages
-        for (a0, a1), (b0, _b1) in zip(sched.outages, sched.outages[1:]):
+        for (a0, a1), (b0, _b1) in zip(sched.outages, sched.outages[1:], strict=False):
             assert a0 < a1 <= b0
 
     def test_rate_windows_use_fallback_rates(self):

@@ -96,7 +96,7 @@ class TestCoalesce:
         pages_after = {p for e in out for p in e.pages()}
         assert pages_before == pages_after
         # Output has no mergeable neighbours.
-        for a, b in zip(out, out[1:]):
+        for a, b in zip(out, out[1:], strict=False):
             assert not a.adjacent_or_overlapping(b)
 
 
@@ -141,5 +141,5 @@ class TestSplitMaxPages:
         assert all(p.npages <= limit for p in parts)
         assert sum(p.npages for p in parts) == npages
         assert parts[0].start == 0
-        for a, b in zip(parts, parts[1:]):
+        for a, b in zip(parts, parts[1:], strict=False):
             assert a.end == b.start

@@ -80,5 +80,5 @@ class TestProperties:
         s = CScanScheduler(head_block=head)
         s.add_all(req(b) for b in blocks)
         out = [r.start_block for r in s.drain()]
-        wraps = sum(1 for a, b in zip(out, out[1:]) if b < a)
+        wraps = sum(1 for a, b in zip(out, out[1:], strict=False) if b < a)
         assert wraps <= 1

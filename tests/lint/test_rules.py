@@ -1,0 +1,162 @@
+"""Rule-level tests for :mod:`repro.lint`.
+
+Every rule R1-R4 has a failing fixture (must trigger that rule and only
+that rule) and a passing fixture (must be silent).  Fixtures use the
+``.pysnippet`` extension so CLI runs over ``tests/`` never walk into
+deliberately-broken code.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Finding, lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: position fixtures as if they lived inside the simulator package, so
+#: the package-scoped rules (R1-R3) apply.
+IN_PACKAGE = ("repro", "core", "fixture.py")
+
+
+def lint_fixture(name: str,
+                 package_rel: tuple[str, ...] | None = IN_PACKAGE
+                 ) -> list[Finding]:
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return lint_source(source, path=name, package_rel=package_rel)
+
+
+@pytest.mark.parametrize("rule", ["R1", "R2", "R3", "R4"])
+def test_bad_fixture_triggers_only_its_rule(rule: str) -> None:
+    findings = lint_fixture(f"{rule.lower()}_bad.pysnippet")
+    assert findings, f"{rule} fixture produced no findings"
+    assert {f.rule for f in findings} == {rule}
+
+
+@pytest.mark.parametrize("rule", ["R1", "R2", "R3", "R4"])
+def test_good_fixture_is_clean(rule: str) -> None:
+    assert lint_fixture(f"{rule.lower()}_good.pysnippet") == []
+
+
+def test_r1_counts_every_nondeterministic_call() -> None:
+    findings = lint_fixture("r1_bad.pysnippet")
+    assert len(findings) == 5
+    messages = " ".join(f.message for f in findings)
+    assert "time.time" in messages
+    assert "datetime.datetime.now" in messages
+    assert "random.random" in messages
+    assert "default_rng" in messages
+    assert "numpy.random.rand" in messages
+
+
+def test_r2_flags_mixed_dimensions() -> None:
+    findings = lint_fixture("r2_bad.pysnippet")
+    mixes = [f for f in findings if "incompatible dimensions" in f.message]
+    assert len(mixes) == 1
+    assert "time vs energy" in mixes[0].message
+
+
+def test_r3_both_equality_directions() -> None:
+    findings = lint_fixture("r3_bad.pysnippet")
+    assert len(findings) == 2
+    assert {"energy", "time"} == {
+        "energy" if "energy" in f.message else "time" for f in findings}
+
+
+def test_r4_reports_default_and_bare_except() -> None:
+    findings = lint_fixture("r4_bad.pysnippet")
+    assert len(findings) == 2
+    messages = " ".join(f.message for f in findings)
+    assert "mutable default" in messages
+    assert "bare except" in messages
+
+
+# ----------------------------------------------------------------------
+# rule scoping
+# ----------------------------------------------------------------------
+def test_package_rules_do_not_apply_outside_the_package() -> None:
+    # Outside repro/ only R4 applies: the R1 fixture is legal there.
+    assert lint_fixture("r1_bad.pysnippet", package_rel=None) == []
+
+
+def test_rng_module_is_exempt_from_r1() -> None:
+    source = "import numpy as np\nrng = np.random.default_rng()\n"
+    inside = lint_source(source, path="x.py",
+                         package_rel=("repro", "core", "x.py"))
+    assert [f.rule for f in inside] == ["R1"]
+    sanctioned = lint_source(source, path="rng.py",
+                             package_rel=("repro", "sim", "rng.py"))
+    assert sanctioned == []
+
+
+# ----------------------------------------------------------------------
+# suppressions
+# ----------------------------------------------------------------------
+def test_inline_pragma_suppresses_the_named_rule() -> None:
+    assert lint_fixture("suppressed.pysnippet") == []
+
+
+def test_pragma_for_a_different_rule_does_not_suppress() -> None:
+    source = ("import time\n"
+              "t = time.time()  # repro-lint: ignore[R3]\n")
+    findings = lint_source(source, path="x.py", package_rel=IN_PACKAGE)
+    assert [f.rule for f in findings] == ["R1"]
+
+
+def test_bare_ignore_suppresses_everything_on_the_line() -> None:
+    source = ("import time\n"
+              "t = time.time()  # repro-lint: ignore\n")
+    assert lint_source(source, path="x.py", package_rel=IN_PACKAGE) == []
+
+
+def test_skip_file_pragma() -> None:
+    source = ("# repro-lint: skip-file\n"
+              "import time\n"
+              "t = time.time()\n")
+    assert lint_source(source, path="x.py", package_rel=IN_PACKAGE) == []
+
+
+# ----------------------------------------------------------------------
+# parse errors
+# ----------------------------------------------------------------------
+def test_syntax_error_is_a_finding_not_a_crash() -> None:
+    findings = lint_source("def broken(:\n", path="x.py")
+    assert [f.rule for f in findings] == ["E1"]
+    assert "syntax error" in findings[0].message
+
+
+# ----------------------------------------------------------------------
+# inference details
+# ----------------------------------------------------------------------
+def test_alias_annotations_beat_lexical_inference() -> None:
+    # 'budget' carries no lexical unit; the Seconds annotation binds it,
+    # so comparing it to a joules-named value is a dimension mix.
+    source = ("from repro.units import Seconds\n"
+              "def f(budget: Seconds, total_energy: float) -> bool:\n"
+              "    return budget < total_energy\n")
+    findings = lint_source(source, path="x.py", package_rel=IN_PACKAGE)
+    mixes = [f for f in findings if "incompatible dimensions" in f.message]
+    assert len(mixes) == 1
+
+
+def test_propagation_through_addition() -> None:
+    source = ("def f(end_time: float, total_energy: float) -> bool:\n"
+              "    return end_time + 1.0 < total_energy\n")
+    findings = lint_source(source, path="x.py", package_rel=IN_PACKAGE)
+    assert any("incompatible dimensions" in f.message for f in findings)
+
+
+def test_same_dimension_arithmetic_is_silent() -> None:
+    source = ("from repro.units import Seconds\n"
+              "def f(start_time: Seconds, end_time: Seconds) -> Seconds:\n"
+              "    return end_time - start_time\n")
+    assert lint_source(source, path="x.py", package_rel=IN_PACKAGE) == []
+
+
+def test_finding_render_is_editor_clickable() -> None:
+    findings = lint_source("x = []\ndef f(a=[]):\n    return a\n",
+                           path="mod.py")
+    assert findings and findings[0].render().startswith("mod.py:2:")
+    assert "R4(defensive-defaults)" in findings[0].render()

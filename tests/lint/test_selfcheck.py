@@ -1,0 +1,31 @@
+"""The shipped tree must satisfy its own analyzer (acceptance gate)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import lint_paths, package_relative
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_shipped_src_tree_is_clean() -> None:
+    findings = lint_paths([REPO_ROOT / "src"])
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_shipped_test_and_example_trees_are_clean() -> None:
+    roots = [REPO_ROOT / d for d in ("tests", "benchmarks", "examples")
+             if (REPO_ROOT / d).is_dir()]
+    findings = lint_paths(roots)
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_package_relative_recognises_both_layouts() -> None:
+    assert package_relative(
+        Path("src/repro/core/simulator.py")) == \
+        ("repro", "core", "simulator.py")
+    assert package_relative(
+        Path("/site-packages/repro/sim/rng.py")) == \
+        ("repro", "sim", "rng.py")
+    assert package_relative(Path("tests/core/test_x.py")) is None

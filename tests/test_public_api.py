@@ -13,11 +13,11 @@ import repro
 
 
 class TestTopLevelExports:
-    def test_all_names_resolve(self):
+    def test_all_names_resolve(self) -> None:
         for name in repro.__all__:
             assert hasattr(repro, name), name
 
-    def test_readme_imports(self):
+    def test_readme_imports(self) -> None:
         # The exact import list the README's quickstart uses.
         from repro import (  # noqa: F401
             DiskOnlyPolicy,
@@ -27,10 +27,16 @@ class TestTopLevelExports:
             profile_from_trace,
         )
 
-    def test_version(self):
+    def test_version(self) -> None:
         assert repro.__version__.count(".") == 2
 
-    def test_paper_constants_exported(self):
+    def test_units_exported(self) -> None:
+        assert repro.units.SECOND.dimension == "time"
+        assert repro.approx_eq(1.0, 1.0 + 1e-12)
+        duration: repro.Seconds = 0.5
+        assert isinstance(duration, float)
+
+    def test_paper_constants_exported(self) -> None:
         assert repro.HITACHI_DK23DA.active_power == 2.0
         assert repro.AIRONET_350.cam_idle_power == 1.41
 
@@ -58,29 +64,36 @@ class TestSubpackageImports:
         "repro.experiments.runner", "repro.experiments.sensitivity",
         "repro.experiments.svg", "repro.experiments.tables",
         "repro.experiments.validate",
+        "repro.faults", "repro.faults.invariants",
+        "repro.faults.schedule",
+        "repro.units",
+        "repro.lint", "repro.lint.findings", "repro.lint.rules",
+        "repro.lint.runner", "repro.lint.suppressions",
+        "repro.lint.unitinfer",
         "repro.cli",
     ])
-    def test_module_imports(self, module):
+    def test_module_imports(self, module: str) -> None:
         importlib.import_module(module)
 
     @pytest.mark.parametrize("module", [
         "repro", "repro.sim", "repro.devices", "repro.kernel",
         "repro.traces", "repro.core", "repro.experiments",
+        "repro.faults", "repro.lint",
     ])
-    def test_packages_have_docstrings(self, module):
+    def test_packages_have_docstrings(self, module: str) -> None:
         assert importlib.import_module(module).__doc__
 
 
 class TestDocstringCoverage:
     """Every public callable on the top-level surface is documented."""
 
-    def test_exported_objects_documented(self):
+    def test_exported_objects_documented(self) -> None:
         for name in repro.__all__:
             obj = getattr(repro, name)
             if callable(obj) or isinstance(obj, type):
                 assert getattr(obj, "__doc__", None), name
 
-    def test_policy_methods_documented(self):
+    def test_policy_methods_documented(self) -> None:
         from repro.core.policies import Policy
         for method in ("choose", "route", "on_serviced", "on_syscall",
                        "on_tick", "on_external_disk_request"):

@@ -127,7 +127,7 @@ class TestFormatting:
                  for r in tiny_trace.records]
         trace = parse_strace_text("\n".join(lines), name="rt")
         assert len(trace) == len(tiny_trace)
-        for a, b in zip(trace.records, tiny_trace.records):
+        for a, b in zip(trace.records, tiny_trace.records, strict=True):
             assert a.inode == b.inode
             assert a.offset == b.offset
             assert a.size == b.size
