@@ -16,7 +16,8 @@ import pytest
 from benchmarks.conftest import RESULTS_DIR
 from repro.core.flexfetch import FlexFetchConfig, FlexFetchPolicy
 from repro.core.profile import profile_from_trace
-from repro.core.simulator import ProgramSpec, ReplaySimulator
+from repro.core.session import SimulationSession
+from repro.core.workload import ProgramSpec
 from repro.traces.synth import (
     generate_grep_make,
     generate_grep_make_xmms,
@@ -37,7 +38,7 @@ def _run(trace_or_pair, config):
         programs = [ProgramSpec(trace_or_pair)]
         profile = profile_from_trace(trace_or_pair)
     policy = FlexFetchPolicy(profile, config)
-    return ReplaySimulator(programs, policy, seed=SEED).run()
+    return SimulationSession(programs, policy, seed=SEED).run()
 
 
 def _record(title, rows):
@@ -125,7 +126,7 @@ def test_disk_spindown_timeout(benchmark, timeout_s):
     spec = HITACHI_DK23DA.with_timeout(float(timeout_s))
 
     def once():
-        return ReplaySimulator([ProgramSpec(trace)], DiskOnlyPolicy(),
+        return SimulationSession([ProgramSpec(trace)], DiskOnlyPolicy(),
                                disk_spec=spec, seed=SEED).run()
 
     result = benchmark.pedantic(once, rounds=1, iterations=1)
@@ -145,7 +146,7 @@ def test_dpm_policy(benchmark, dpm):
                   else AdaptiveTimeout(initial=20.0))
 
     def once():
-        return ReplaySimulator(
+        return SimulationSession(
             [ProgramSpec(trace)], FlexFetchPolicy(profile),
             spindown_policy=policy_obj, seed=SEED).run()
 
@@ -167,7 +168,7 @@ def test_psm_transfers(benchmark, psm_transfers):
     spec = AIRONET_350.with_psm_transfers(psm_transfers)
 
     def once():
-        return ReplaySimulator([ProgramSpec(trace)], WnicOnlyPolicy(),
+        return SimulationSession([ProgramSpec(trace)], WnicOnlyPolicy(),
                                wnic_spec=spec, seed=SEED).run()
 
     result = benchmark.pedantic(once, rounds=1, iterations=1)

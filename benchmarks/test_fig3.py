@@ -1,16 +1,29 @@
-"""Figure 3 — Thunderbird: energy vs WNIC latency and bandwidth."""
+"""Figure 3 — Thunderbird: energy vs WNIC latency and bandwidth.
+
+Doubles as the CI benchmark smoke job: besides the shape assertions,
+the whole reduced-grid sweep is held to the energies pinned in
+``results/golden.json`` (see ``pin_golden.py``), so a behaviour change
+anywhere in the replay stack fails here even if every ordering and
+crossover happens to survive it.
+"""
+
+import json
+from pathlib import Path
 
 import pytest
 
 from benchmarks.conftest import publish_figure
+from repro.units import approx_eq
 from repro.core.bluefs import BlueFSPolicy
 from repro.core.flexfetch import FlexFetchPolicy
 from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
 from repro.core.profile import profile_from_trace
-from repro.core.simulator import ProgramSpec
+from repro.core.workload import ProgramSpec
 from repro.experiments.figures import figure3
 from repro.experiments.runner import run_point
 from repro.traces.synth import generate_thunderbird
+
+GOLDEN_PATH = Path(__file__).parent / "results" / "golden.json"
 
 
 @pytest.fixture(scope="module")
@@ -70,3 +83,22 @@ def test_fig3_replay(benchmark, bench_config, workload, fig3_series,
         swing = max(series) / min(series)
         assert swing < wnic_swing * 0.3
         assert all(e <= d * 1.02 for e, d in zip(series, disk_series, strict=True))
+
+
+def test_fig3_grid_matches_golden(fig3_series, bench_config):
+    """Every cell of the reduced grid lands on the pinned energy."""
+    grid = json.loads(GOLDEN_PATH.read_text())["fig3_grid"]
+    assert grid["latencies"] == list(bench_config.latency_sweep)
+    assert grid["bandwidths_bps"] == list(bench_config.bandwidth_sweep_bps)
+    for panel, series_by_name in (("by_latency", fig3_series.by_latency),
+                                  ("by_bandwidth",
+                                   fig3_series.by_bandwidth)):
+        pinned_panel = grid[panel]
+        assert set(series_by_name) == set(pinned_panel)
+        for name, points in series_by_name.items():
+            got = [p.energy for p in points]
+            want = pinned_panel[name]
+            assert len(got) == len(want)
+            for i, (g, w) in enumerate(zip(got, want, strict=True)):
+                assert approx_eq(g, w), \
+                    f"fig3 {panel}/{name}[{i}]: {g} != pinned {w}"

@@ -6,7 +6,7 @@ from benchmarks.conftest import publish_figure
 from repro.core.flexfetch import FlexFetchConfig, FlexFetchPolicy
 from repro.core.policies import DiskOnlyPolicy
 from repro.core.profile import profile_from_trace
-from repro.core.simulator import ProgramSpec
+from repro.core.workload import ProgramSpec
 from repro.experiments.figures import figure4
 from repro.experiments.runner import run_point
 from repro.traces.synth import generate_grep_make_xmms

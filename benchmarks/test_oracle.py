@@ -13,7 +13,8 @@ from repro.core.flexfetch import FlexFetchPolicy
 from repro.core.oracle import ClairvoyantStagePolicy
 from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
 from repro.core.profile import profile_from_trace
-from repro.core.simulator import ProgramSpec, ReplaySimulator
+from repro.core.session import SimulationSession
+from repro.core.workload import ProgramSpec
 from repro.traces.synth import (
     generate_grep_make,
     generate_mplayer,
@@ -44,17 +45,17 @@ def test_flexfetch_vs_oracle(benchmark, workload):
     trace = WORKLOADS[workload](SEED)
 
     def run_oracle():
-        return ReplaySimulator([ProgramSpec(trace)],
+        return SimulationSession([ProgramSpec(trace)],
                                ClairvoyantStagePolicy(trace),
                                seed=SEED).run()
 
     oracle = benchmark.pedantic(run_oracle, rounds=1, iterations=1)
-    ff = ReplaySimulator([ProgramSpec(trace)],
+    ff = SimulationSession([ProgramSpec(trace)],
                          FlexFetchPolicy(profile_from_trace(trace)),
                          seed=SEED).run()
-    disk = ReplaySimulator([ProgramSpec(trace)], DiskOnlyPolicy(),
+    disk = SimulationSession([ProgramSpec(trace)], DiskOnlyPolicy(),
                            seed=SEED).run()
-    wnic = ReplaySimulator([ProgramSpec(trace)], WnicOnlyPolicy(),
+    wnic = SimulationSession([ProgramSpec(trace)], WnicOnlyPolicy(),
                            seed=SEED).run()
     _publish(workload, [
         ("Disk-only", disk.total_energy),

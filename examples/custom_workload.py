@@ -24,7 +24,7 @@ from repro import (
     DiskOnlyPolicy,
     FlexFetchPolicy,
     ProgramSpec,
-    ReplaySimulator,
+    SimulationSession,
     WnicOnlyPolicy,
     profile_from_trace,
 )
@@ -87,7 +87,7 @@ def main() -> None:
     print(f"{'policy':18s} {'energy':>10s} {'time':>10s}")
     for policy in (DiskOnlyPolicy(), WnicOnlyPolicy(), BlueFSPolicy(),
                    FlexFetchPolicy(profile)):
-        result = ReplaySimulator([ProgramSpec(second_run)], policy,
+        result = SimulationSession([ProgramSpec(second_run)], policy,
                                  seed=SEED).run()
         print(f"{result.policy:18s} {result.total_energy:9.1f}J"
               f" {result.end_time:9.1f}s")

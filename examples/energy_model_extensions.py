@@ -26,7 +26,7 @@ from repro import (
     HITACHI_DK23DA,
     DiskOnlyPolicy,
     ProgramSpec,
-    ReplaySimulator,
+    SimulationSession,
     WnicOnlyPolicy,
 )
 from repro.devices.dpm import AdaptiveTimeout, FixedTimeout
@@ -59,9 +59,9 @@ def hostile_cadence(seed, *, n=25, gap=22.0):
 def main() -> None:
     # ---- 1. PSM transfers --------------------------------------------
     trace = sparse_tiny_reads(SEED)
-    base = ReplaySimulator([ProgramSpec(trace)], WnicOnlyPolicy(),
+    base = SimulationSession([ProgramSpec(trace)], WnicOnlyPolicy(),
                            wnic_spec=AIRONET_350, seed=SEED).run()
-    psm = ReplaySimulator([ProgramSpec(trace)], WnicOnlyPolicy(),
+    psm = SimulationSession([ProgramSpec(trace)], WnicOnlyPolicy(),
                           wnic_spec=AIRONET_350.with_psm_transfers(),
                           seed=SEED).run()
     print("1. PSM data transfers (tiny sparse fetches over WNIC):")
@@ -74,9 +74,9 @@ def main() -> None:
 
     # ---- 2. Sleep state ------------------------------------------------
     trace = generate_thunderbird(SEED)
-    base = ReplaySimulator([ProgramSpec(trace)], DiskOnlyPolicy(),
+    base = SimulationSession([ProgramSpec(trace)], DiskOnlyPolicy(),
                            disk_spec=HITACHI_DK23DA, seed=SEED).run()
-    sleepy = ReplaySimulator([ProgramSpec(trace)], DiskOnlyPolicy(),
+    sleepy = SimulationSession([ProgramSpec(trace)], DiskOnlyPolicy(),
                              disk_spec=HITACHI_DK23DA.with_sleep(45.0),
                              seed=SEED).run()
     print("2. Sleep state (Thunderbird on Disk-only):")
@@ -89,11 +89,11 @@ def main() -> None:
 
     # ---- 3. Adaptive spin-down timeout -----------------------------------
     trace = hostile_cadence(SEED)
-    fixed = ReplaySimulator([ProgramSpec(trace)], DiskOnlyPolicy(),
+    fixed = SimulationSession([ProgramSpec(trace)], DiskOnlyPolicy(),
                             spindown_policy=FixedTimeout(20.0),
                             seed=SEED).run()
     adaptive_policy = AdaptiveTimeout(initial=20.0)
-    adapt = ReplaySimulator([ProgramSpec(trace)], DiskOnlyPolicy(),
+    adapt = SimulationSession([ProgramSpec(trace)], DiskOnlyPolicy(),
                             spindown_policy=adaptive_policy,
                             seed=SEED).run()
     print("3. Adaptive spin-down timeout (22 s request cadence — the"

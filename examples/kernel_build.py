@@ -20,7 +20,7 @@ from repro import (
     DiskOnlyPolicy,
     FlexFetchPolicy,
     ProgramSpec,
-    ReplaySimulator,
+    SimulationSession,
     WnicOnlyPolicy,
     profile_from_trace,
 )
@@ -30,7 +30,7 @@ SEED = 7
 
 
 def replay(trace, policy, wnic_spec):
-    sim = ReplaySimulator([ProgramSpec(trace)], policy,
+    sim = SimulationSession([ProgramSpec(trace)], policy,
                           wnic_spec=wnic_spec, seed=SEED)
     return sim.run()
 

@@ -19,7 +19,7 @@ from repro import (
     DiskOnlyPolicy,
     FlexFetchPolicy,
     ProgramSpec,
-    ReplaySimulator,
+    SimulationSession,
     WnicOnlyPolicy,
     profile_from_trace,
 )
@@ -53,7 +53,7 @@ def main() -> None:
     ]
     results = []
     for policy in policies:
-        sim = ReplaySimulator([ProgramSpec(trace)], policy, seed=SEED)
+        sim = SimulationSession([ProgramSpec(trace)], policy, seed=SEED)
         results.append(sim.run())
 
     # 4. Scoreboard.

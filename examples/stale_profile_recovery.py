@@ -18,7 +18,7 @@ from repro import (
     FlexFetchConfig,
     FlexFetchPolicy,
     ProgramSpec,
-    ReplaySimulator,
+    SimulationSession,
     WnicOnlyPolicy,
     profile_from_trace,
 )
@@ -45,18 +45,18 @@ def main() -> None:
 
     baselines = {}
     for policy in (DiskOnlyPolicy(), WnicOnlyPolicy(), BlueFSPolicy()):
-        r = ReplaySimulator([ProgramSpec(search_run)], policy,
+        r = SimulationSession([ProgramSpec(search_run)], policy,
                             seed=SEED).run()
         baselines[r.policy] = r
         print(f"  {r.summary()}")
 
     static = FlexFetchPolicy(stale, FlexFetchConfig(adaptive=False))
-    r_static = ReplaySimulator([ProgramSpec(search_run)], static,
+    r_static = SimulationSession([ProgramSpec(search_run)], static,
                                seed=SEED).run()
     print(f"  {r_static.summary()}   <- trusts the stale profile forever")
 
     adaptive = FlexFetchPolicy(stale)
-    r_adaptive = ReplaySimulator([ProgramSpec(search_run)], adaptive,
+    r_adaptive = SimulationSession([ProgramSpec(search_run)], adaptive,
                                  seed=SEED).run()
     print(f"  {r_adaptive.summary()}   <- audits and corrects\n")
 

@@ -18,7 +18,7 @@ from repro import (
     DiskOnlyPolicy,
     FlexFetchPolicy,
     ProgramSpec,
-    ReplaySimulator,
+    SimulationSession,
     WnicOnlyPolicy,
     profile_from_trace,
 )
@@ -40,12 +40,12 @@ def main() -> None:
 
     for rate in RATES_MBPS:
         wnic = AIRONET_350.with_link(bandwidth_bps=Mbps(rate))
-        disk = ReplaySimulator([ProgramSpec(trace)], DiskOnlyPolicy(),
+        disk = SimulationSession([ProgramSpec(trace)], DiskOnlyPolicy(),
                                wnic_spec=wnic, seed=SEED).run()
-        only = ReplaySimulator([ProgramSpec(trace)], WnicOnlyPolicy(),
+        only = SimulationSession([ProgramSpec(trace)], WnicOnlyPolicy(),
                                wnic_spec=wnic, seed=SEED).run()
         ff_policy = FlexFetchPolicy(profile)
-        ff = ReplaySimulator([ProgramSpec(trace)], ff_policy,
+        ff = SimulationSession([ProgramSpec(trace)], ff_policy,
                              wnic_spec=wnic, seed=SEED).run()
 
         disk_mb = ff_policy.routed_bytes[DataSource.DISK] / 1e6

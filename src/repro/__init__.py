@@ -14,11 +14,11 @@ Workloads::
 Policies and replay::
 
     from repro import (DiskOnlyPolicy, WnicOnlyPolicy, BlueFSPolicy,
-                       FlexFetchPolicy, ProgramSpec, ReplaySimulator,
+                       FlexFetchPolicy, ProgramSpec, SimulationSession,
                        profile_from_trace)
     profile = profile_from_trace(trace)          # the recorded history
-    sim = ReplaySimulator([ProgramSpec(trace)], FlexFetchPolicy(profile))
-    result = sim.run()
+    result = SimulationSession([ProgramSpec(trace)],
+                               FlexFetchPolicy(profile)).run()
     print(result.total_energy, result.end_time)
 
 Paper evaluation::
@@ -35,12 +35,14 @@ from repro.core.decision import DataSource, decide
 from repro.core.flexfetch import FlexFetchConfig, FlexFetchPolicy
 from repro.core.policies import DiskOnlyPolicy, Policy, WnicOnlyPolicy
 from repro.core.profile import ExecutionProfile, profile_from_trace
+from repro.core.session import SimulationSession
 from repro.core.simulator import (
     MobileSystem,
     ProgramSpec,
     ReplaySimulator,
     RunResult,
 )
+from repro.core.telemetry import MetricsSink, NullSink, RecordingSink
 from repro.devices.specs import AIRONET_350, HITACHI_DK23DA, DiskSpec, WnicSpec
 from repro.traces.trace import Trace
 from repro import units
@@ -67,10 +69,14 @@ __all__ = [
     "WnicOnlyPolicy",
     "ExecutionProfile",
     "profile_from_trace",
+    "MetricsSink",
     "MobileSystem",
+    "NullSink",
     "ProgramSpec",
+    "RecordingSink",
     "ReplaySimulator",
     "RunResult",
+    "SimulationSession",
     "AIRONET_350",
     "HITACHI_DK23DA",
     "DiskSpec",

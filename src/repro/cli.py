@@ -24,7 +24,7 @@ from collections.abc import Sequence
 from repro.core.bluefs import BlueFSPolicy
 from repro.core.flexfetch import FlexFetchPolicy
 from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
-from repro.core.simulator import ReplaySimulator
+from repro.core.session import SimulationSession
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import FIGURES, fault_panel
 from repro.experiments.report import (
@@ -103,13 +103,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
     for policy in policies:
         faults = FaultSchedule(fault_spec, seed=args.seed) \
             if fault_spec is not None else None
-        sim = ReplaySimulator(list(scenario.programs), policy,
-                              disk_spec=config.disk_spec,
-                              wnic_spec=config.wnic_spec,
-                              memory_bytes=config.memory_bytes,
-                              seed=config.seed,
-                              faults=faults, strict=args.strict)
-        result = sim.run()
+        result = (SimulationSession(list(scenario.programs), policy,
+                                    disk_spec=config.disk_spec,
+                                    wnic_spec=config.wnic_spec,
+                                    memory_bytes=config.memory_bytes,
+                                    seed=config.seed)
+                  .with_faults(faults, strict=args.strict)
+                  .run())
         line = result.summary()
         failovers = sum(result.fault_failovers.values())
         if failovers or result.disk_spinup_failures:

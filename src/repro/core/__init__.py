@@ -1,18 +1,23 @@
-"""FlexFetch core: profiling, decision, policies, and the replay simulator.
+"""FlexFetch core: profiling, decision, policies, and the layered replay.
 
 * :mod:`repro.core.burst` — I/O-burst extraction from syscall traces (§2.1).
 * :mod:`repro.core.profile` — execution profiles and evaluation stages (§2.2).
-* :mod:`repro.core.estimator` — per-stage (time, energy) what-if estimation
-  using cloned device simulators (§2.2).
+* :mod:`repro.core.costmodel` — the shared device cost model every policy
+  estimates with (§2.2); :mod:`repro.core.estimator` is its compat shim.
 * :mod:`repro.core.decision` — the three data-source rules with the
   user-specified loss rate (§2.2).
 * :mod:`repro.core.policies` — the policy interface plus the Disk-only and
   WNIC-only baselines (§3.1).
 * :mod:`repro.core.bluefs` — the BlueFS-style reactive policy with ghost
   hints (§1.2, §3.3).
-* :mod:`repro.core.flexfetch` — FlexFetch and FlexFetch-static (§2).
-* :mod:`repro.core.simulator` — the trace-driven closed-loop replay that
-  produces every number in the evaluation (§3.1).
+* :mod:`repro.core.flexfetch` — FlexFetch and FlexFetch-static (§2), with
+  its tunables in :mod:`repro.core.flexfetch_config` and the stage-end
+  audit in :mod:`repro.core.audit`.
+* the replay itself is layered: :mod:`repro.core.workload` drivers over
+  :mod:`repro.kernel.path` and :mod:`repro.devices.service`, routed by
+  :mod:`repro.core.routing`, observed by :mod:`repro.core.telemetry`,
+  wired together by :class:`repro.core.session.SimulationSession`
+  (:mod:`repro.core.simulator` remains as a deprecated shim).
 """
 
 from repro.core.burst import (
@@ -21,6 +26,7 @@ from repro.core.burst import (
     ProfiledRequest,
     extract_bursts,
 )
+from repro.core.costmodel import CostModel, MarginalCost
 from repro.core.decision import DataSource, DecisionInputs, decide
 from repro.core.estimator import StageEstimate, estimate_stage
 from repro.core.flexfetch import FlexFetchConfig, FlexFetchPolicy
@@ -28,13 +34,17 @@ from repro.core.oracle import ClairvoyantStagePolicy
 from repro.core.bluefs import BlueFSConfig, BlueFSPolicy
 from repro.core.policies import DiskOnlyPolicy, Policy, RequestContext, WnicOnlyPolicy
 from repro.core.profile import ExecutionProfile, Stage, profile_from_trace
+from repro.core.session import SimulationSession
 from repro.core.simulator import MobileSystem, ProgramSpec, ReplaySimulator, RunResult
+from repro.core.telemetry import MetricsSink, NullSink, RecordingSink
 
 __all__ = [
     "BURST_THRESHOLD_DEFAULT",
     "IOBurst",
     "ProfiledRequest",
     "extract_bursts",
+    "CostModel",
+    "MarginalCost",
     "DataSource",
     "DecisionInputs",
     "decide",
@@ -52,8 +62,12 @@ __all__ = [
     "ExecutionProfile",
     "Stage",
     "profile_from_trace",
+    "MetricsSink",
     "MobileSystem",
+    "NullSink",
     "ProgramSpec",
+    "RecordingSink",
     "ReplaySimulator",
     "RunResult",
+    "SimulationSession",
 ]

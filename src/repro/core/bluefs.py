@@ -35,8 +35,6 @@ from typing import Any
 from repro.core.decision import DataSource
 from repro.core.policies import Policy, RequestContext
 from repro.devices.disk import DiskState
-from repro.devices.wnic import Direction
-from repro.traces.record import OpType
 from repro.units import Seconds
 
 
@@ -86,26 +84,14 @@ class BlueFSPolicy(Policy):
         self.decision_log: list[tuple[float, DataSource]] = []
 
     # ------------------------------------------------------------------
-    def _marginal_costs(self, ctx: RequestContext
-                        ) -> tuple[tuple[float, float], tuple[float, float]]:
-        """((t_disk, e_disk), (t_net, e_net)) for this one request."""
-        assert self.env is not None
-        disk = self.env.disk
-        wnic = self.env.wnic
-        disk.advance_to(ctx.now)
-        wnic.advance_to(ctx.now)
-        d = disk.estimate_service(ctx.nbytes)
-        direction = (Direction.RECV if ctx.op is OpType.READ
-                     else Direction.SEND)
-        n = wnic.estimate_service(ctx.nbytes, direction=direction)
-        return d, n
-
     def choose(self, ctx: RequestContext) -> DataSource:
-        (t_d, e_d), (t_n, e_n) = self._marginal_costs(ctx)
+        assert self.env is not None
+        d, n = self.env.cost_model.marginal_pair(ctx.now, ctx.nbytes,
+                                                 ctx.op)
         if self.config.cost_metric == "time":
-            cost_d, cost_n = t_d, t_n
+            cost_d, cost_n = d.time, n.time
         else:
-            cost_d, cost_n = e_d, e_n
+            cost_d, cost_n = d.energy, n.energy
         source = DataSource.DISK if cost_d <= cost_n else DataSource.NETWORK
         self.decision_log.append((ctx.now, source))
         return source
@@ -118,16 +104,15 @@ class BlueFSPolicy(Policy):
         disk = self.env.disk
         if source is DataSource.NETWORK:
             # What would this request have cost on a spinning disk?
-            t_active, e_active = disk.estimate_service(
-                ctx.nbytes, from_state=DiskState.IDLE.value)
+            e_active = self.env.cost_model.disk_marginal(
+                ctx.nbytes, from_state=DiskState.IDLE.value).energy
             actual = float(getattr(result, "energy", 0.0))
             self.ghost_hint_energy += max(0.0, actual - e_active)
             if (self.config.hints_keep_disk_alive
                     and actual > e_active
                     and disk.state != DiskState.STANDBY.value):
                 disk.note_activity(ctx.now)
-            investment = (disk.spec.spinup_energy
-                          + disk.spec.spindown_energy) \
+            investment = self.env.cost_model.disk_transition_investment() \
                 * self.config.hint_threshold_factor
             if (self.ghost_hint_energy >= investment
                     and disk.state == DiskState.STANDBY.value):

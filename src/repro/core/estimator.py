@@ -1,174 +1,50 @@
-"""Per-stage (time, energy) what-if estimation (§2.2).
+"""Per-stage (time, energy) what-if estimation (§2.2) — compat shim.
 
-"In order to estimate execution times and energy costs for servicing
-I/O requests on various data sources, we need to calculate the length of
-period of time when a device stays at each power mode.  To this end, we
-maintain an on-line simulator for each device to emulate their power
-saving policies."
-
-The on-line simulator here is simply a :meth:`clone` of the live device
-model (so the estimate starts from the device's *actual* current power
-state) replaying the stage's bursts closed-loop: requests within a burst
-go back-to-back, inter-burst think times advance the clone's clock and
-let its DPM policy fire — which is precisely what charges Disk-only for
-idle watts between sparse bursts and the WNIC for CAM/PSM cycling.
-
-The §2.3.2 buffer-cache filter is applied before estimation: profiled
-requests whose data is resident in the page cache are shrunk or dropped.
+The estimation machinery moved into the shared
+:class:`~repro.core.costmodel.CostModel`; this module keeps the old
+function-style surface importable.  ``estimate_stage`` is
+:func:`repro.core.costmodel.replay_stage` under its historical name, and
+``estimate_both`` is a :meth:`CostModel.stage_pair` over ad-hoc devices.
+New code should go through ``env.cost_model`` instead of calling these
+free functions with raw devices.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from collections.abc import Sequence
-from typing import Protocol
 
-from repro.core.burst import IOBurst, ProfiledRequest
-from repro.core.decision import DataSource
+from repro.core.costmodel import (
+    CostModel,
+    ResidencyOracle,
+    StageEstimate,
+    filter_cached,
+    replay_stage,
+)
 from repro.devices.disk import HardDisk
 from repro.devices.layout import DiskLayout
-from repro.devices.wnic import Direction, WirelessNic
-from repro.traces.record import OpType
-from repro.units import Bytes, Joules, Seconds
+from repro.devices.wnic import WirelessNic
+from repro.core.burst import IOBurst
+from repro.units import Seconds
 
+__all__ = [
+    "StageEstimate",
+    "estimate_both",
+    "estimate_stage",
+    "filter_cached",
+]
 
-@dataclass(frozen=True, slots=True)
-class StageEstimate:
-    """Estimated cost of servicing a stage from one data source."""
+#: old private name for the residency protocol.
+_ResidencyOracle = ResidencyOracle
 
-    source: DataSource
-    time: float
-    energy: Joules
-    nbytes: Bytes
-    requests: int
-
-
-class _ResidencyOracle(Protocol):
-    """Anything that can answer 'how much of this range is cached?'."""
-
-    def resident_bytes(self, inode: int, offset: int, size: int) -> Bytes: ...
-
-
-def filter_cached(bursts: Sequence[IOBurst],
-                  vfs: _ResidencyOracle) -> list[list[ProfiledRequest]]:
-    """Apply the §2.3.2 cache filter to a stage's bursts.
-
-    Returns, per burst, the requests that would still reach a device:
-    fully resident requests vanish, partially resident ones shrink by
-    the resident byte count (an approximation that preserves totals).
-    Reads only — writes always dirty pages regardless of residency.
-    """
-    filtered: list[list[ProfiledRequest]] = []
-    for burst in bursts:
-        keep: list[ProfiledRequest] = []
-        for req in burst.requests:
-            if req.op is OpType.READ:
-                resident = vfs.resident_bytes(req.inode, req.offset,
-                                              req.size)
-                remaining = req.size - resident
-                if remaining <= 0:
-                    continue
-                keep.append(ProfiledRequest(
-                    inode=req.inode, offset=req.offset,
-                    size=remaining, op=req.op))
-            else:
-                keep.append(req)
-        filtered.append(keep)
-    return filtered
-
-
-def estimate_stage(source: DataSource,
-                   device: HardDisk | WirelessNic,
-                   bursts: Sequence[IOBurst],
-                   thinks: Sequence[float],
-                   *,
-                   now: Seconds,
-                   layout: DiskLayout | None = None,
-                   vfs: _ResidencyOracle | None = None,
-                   other_device: HardDisk | WirelessNic | None = None,
-                   min_duration: float | None = None) -> StageEstimate:
-    """Replay a stage through a clone of ``device`` starting at ``now``.
-
-    ``thinks[i]`` follows ``bursts[i]``; the trailing think is not
-    charged (it belongs to the next stage).  The estimate's ``time`` is
-    from ``now`` to the completion of the last request plus the enclosed
-    thinks; ``energy`` is the clone's consumption over that interval.
-
-    When ``other_device`` is given, its clone is advanced (unused) over
-    the same interval and its baseline draw — including any DPM
-    transitions its idleness triggers — is added to the estimate.  This
-    keeps the disk-vs-network comparison honest: choosing the disk still
-    pays the WNIC's PSM idle watts, and choosing the network lets an
-    active disk time out and spin down.
-
-    ``min_duration`` extends the measured interval to at least that many
-    seconds past ``now`` — the stage-end audit uses it so a stage whose
-    requests finished early still charges the serving device's trailing
-    idle, exactly as the measured side does.
-    """
-    if len(bursts) != len(thinks):
-        raise ValueError("bursts and thinks must align")
-    clone = device.clone()
-    clone.advance_to(now)
-    e0 = clone.energy(now)
-
-    request_lists = (filter_cached(bursts, vfs) if vfs is not None
-                     else [list(b.requests) for b in bursts])
-
-    t = now
-    total_bytes = 0
-    total_requests = 0
-    for i, requests in enumerate(request_lists):
-        for req in requests:
-            total_bytes += req.size
-            total_requests += 1
-            if isinstance(clone, HardDisk):
-                block = None
-                nblocks = None
-                if layout is not None and req.inode in layout:
-                    # Profiled offsets come from a *prior* run and may
-                    # exceed the current file (different data set);
-                    # unknown placement falls back to an average seek.
-                    ext = layout.get(req.inode)
-                    rel = req.offset // 4096
-                    if rel < ext.nblocks:
-                        block = ext.start_block + rel
-                        nblocks = -(-req.size // 4096)
-                result = clone.service(t, req.size, block=block,
-                                       block_count=nblocks)
-            else:
-                direction = (Direction.RECV if req.op is OpType.READ
-                             else Direction.SEND)
-                result = clone.service(t, req.size, direction=direction)
-            t = result.completion
-        is_last = i == len(request_lists) - 1
-        if not is_last:
-            t += thinks[i]
-            clone.advance_to(t)
-    if min_duration is not None:
-        t = max(t, now + min_duration)
-    clone.advance_to(t)
-    e1 = clone.energy(t)
-    energy = max(0.0, e1 - e0)
-    if other_device is not None:
-        other = other_device.clone()
-        other.advance_to(now)
-        oe0 = other.energy(now)
-        other.advance_to(max(t, now))
-        energy += max(0.0, other.energy(max(t, now)) - oe0)
-    return StageEstimate(source=source, time=max(0.0, t - now),
-                         energy=energy,
-                         nbytes=total_bytes, requests=total_requests)
+#: historical name of :func:`repro.core.costmodel.replay_stage`.
+estimate_stage = replay_stage
 
 
 def estimate_both(disk: HardDisk, wnic: WirelessNic,
                   bursts: Sequence[IOBurst], thinks: Sequence[float], *,
                   now: Seconds, layout: DiskLayout | None = None,
-                  vfs: _ResidencyOracle | None = None
+                  vfs: ResidencyOracle | None = None
                   ) -> tuple[StageEstimate, StageEstimate]:
     """Both scenarios' estimates for one stage, cross-baselines included."""
-    d = estimate_stage(DataSource.DISK, disk, bursts, thinks, now=now,
-                       layout=layout, vfs=vfs, other_device=wnic)
-    n = estimate_stage(DataSource.NETWORK, wnic, bursts, thinks, now=now,
-                       layout=layout, vfs=vfs, other_device=disk)
-    return d, n
+    return CostModel(disk, wnic, layout).stage_pair(bursts, thinks,
+                                                    now=now, vfs=vfs)

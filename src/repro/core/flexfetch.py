@@ -1,141 +1,40 @@
 """The FlexFetch policy (§2) and its static ablation.
 
 FlexFetch proactively picks the data source for each *evaluation stage*
-from a recorded execution profile, then keeps the decision honest
-against runtime dynamics (§2.3):
+from a recorded execution profile (§2.2: the upcoming profile slice is
+replayed through clones of both devices and the three decision rules
+pick with the user's loss rate), then keeps the decision honest against
+runtime dynamics (§2.3): splice re-evaluation as observed bursts close
+(§2.3.1), the stage-end audit against a counterfactual replay on the
+alternative device (§2.3.1, see :mod:`repro.core.audit`), the
+buffer-cache filter (§2.3.2), and free-riding on an externally
+kept-alive disk (§2.3.3).
 
-* **profile-driven stage decisions** (§2.2) — at each stage boundary the
-  upcoming slice of the (assembled) profile is replayed through clones
-  of both devices from their *current* states; the three decision rules
-  with the user's loss rate pick the source;
-* **splice re-evaluation** (§2.3.1) — as the current run's bursts close,
-  the observed prefix replaces the old profile's first N bursts and the
-  rule is re-run for the remainder of the stage, so a drifting run can
-  flip the source before the stage ends;
-* **stage-end audit** (§2.3.1) — measured energy of the chosen device is
-  compared against a counterfactual replay of the *observed* stage on
-  the alternative device; if the profile's choice lost, the winner is
-  used next stage and the profile is distrusted until it proves itself;
-* **buffer-cache filter** (§2.3.2) — profiled requests resident in the
-  page cache are dropped from the estimates;
-* **free-riding** (§2.3.3) — when non-profiled programs keep the disk
-  spun up (inter-arrival below the spin-down timeout), requests ride the
-  disk for free regardless of the profile decision.
-
-``FlexFetchConfig(adaptive=False)`` yields **FlexFetch-static**, the
-§3.3.4 ablation with profile-driven decisions but none of the runtime
-adaptation.
+All device arithmetic goes through the system's shared
+:class:`~repro.core.costmodel.CostModel`; this module holds only the
+decision machinery.  ``FlexFetchConfig(adaptive=False)`` yields
+**FlexFetch-static**, the §3.3.4 ablation with profile-driven decisions
+but none of the runtime adaptation (its tunables live in
+:mod:`repro.core.flexfetch_config`).
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.burst import (
-    BURST_THRESHOLD_DEFAULT,
-    IOBurst,
-    OnlineBurstTracker,
-    ProfiledRequest,
-)
-from repro.core.decision import (
-    LOSS_RATE_DEFAULT,
-    DataSource,
-    DecisionInputs,
-    decide,
-)
-from repro.core.estimator import estimate_stage
+from repro.core.audit import StageAccounting, audit_stage
+from repro.core.burst import OnlineBurstTracker, ProfiledRequest
+from repro.core.decision import DataSource, DecisionInputs, decide
+from repro.core.flexfetch_config import FlexFetchConfig
 from repro.core.policies import Policy, RequestContext
-from repro.core.profile import (
-    STAGE_LENGTH_DEFAULT,
-    ExecutionProfile,
-)
+from repro.core.profile import ExecutionProfile
 from repro.units import Joules, Seconds
 
+__all__ = ["FlexFetchConfig", "FlexFetchPolicy"]
 
-@dataclass(frozen=True, slots=True)
-class FlexFetchConfig:
-    """FlexFetch tunables (defaults = §3.1 experimental settings)."""
-
-    loss_rate: float = LOSS_RATE_DEFAULT
-    stage_length: float = STAGE_LENGTH_DEFAULT
-    burst_threshold: float = BURST_THRESHOLD_DEFAULT
-    adaptive: bool = True
-    #: how many stage-lengths of profile the decision rule looks ahead.
-    #: One stage is myopic: a one-time cost like the active disk's
-    #: spin-down tail dominates and the policy clings to the incumbent
-    #: device; two stages amortise such transients correctly.
-    decision_horizon_stages: float = 2.0
-    #: relative energy advantage a source-switch must show before the
-    #: policy acts on it.  Damps thrashing when the two devices are
-    #: near break-even (mid-size think times), where estimate noise
-    #: would otherwise flip the source every stage and pay a spin-up or
-    #: mode-switch each time.
-    switch_hysteresis: float = 0.10
-    #: minimum simulated seconds between §2.3.1 re-evaluations.  The
-    #: paper re-evaluates "constantly"; bounding the cadence keeps the
-    #: on-line simulators' overhead negligible (the paper's own design
-    #: goal: "such simulation causes minimal overhead") without
-    #: affecting any stage-scale decision.
-    reevaluation_min_interval: float = 5.0
-    #: individually togglable adaptation features (for ablations);
-    #: ignored (all off) when ``adaptive`` is False.
-    use_splice_reevaluation: bool = True
-    use_stage_audit: bool = True
-    use_cache_filter: bool = True
-    use_free_rider: bool = True
-
-    def __post_init__(self) -> None:
-        if self.loss_rate < 0:
-            raise ValueError("loss rate cannot be negative")
-        if self.stage_length <= 0:
-            raise ValueError("stage length must be positive")
-        if self.burst_threshold <= 0:
-            raise ValueError("burst threshold must be positive")
-        if self.switch_hysteresis < 0:
-            raise ValueError("hysteresis cannot be negative")
-        if self.decision_horizon_stages <= 0:
-            raise ValueError("decision horizon must be positive")
-        if self.reevaluation_min_interval < 0:
-            raise ValueError("re-evaluation interval cannot be negative")
-
-    def feature(self, name: str) -> bool:
-        """Whether an adaptation feature is effectively enabled.
-
-        The three *runtime* adaptations (splice re-evaluation, stage
-        audit, free-riding) are gated by ``adaptive`` — they are what
-        FlexFetch-static lacks (§3.3.4: it "does not have the capability
-        to adapt to the run-time dynamics").  The §2.3.2 cache filter is
-        part of the estimation itself and applies to both variants;
-        toggle ``use_cache_filter`` directly to ablate it.
-        """
-        if name == "cache_filter":
-            return self.use_cache_filter
-        return self.adaptive and bool(getattr(self, f"use_{name}"))
-
-
-@dataclass
-class _StageAccounting:
-    """Runtime bookkeeping for the stage in progress."""
-
-    start: float
-    source: DataSource
-    disk_energy0: float
-    wnic_energy0: float
-    observed: list[tuple[ProfiledRequest, float, float]] = \
-        field(default_factory=list)  # (request, start, end)
-    #: joules spent on the *other* device on each source's behalf during
-    #: fault recovery (failover waste + cross-device service); the audit
-    #: charges it to the intended source so its measured energy reflects
-    #: what choosing that source actually cost this stage.
-    cross_energy: dict[DataSource, float] = field(
-        default_factory=lambda: {DataSource.DISK: 0.0,
-                                 DataSource.NETWORK: 0.0})
-
-    def observe(self, req: ProfiledRequest, start: float,
-                end: float) -> None:
-        self.observed.append((req, start, end))
+#: old private name, kept importable for introspection-heavy callers.
+_StageAccounting = StageAccounting
 
 
 class FlexFetchPolicy(Policy):
@@ -186,7 +85,7 @@ class FlexFetchPolicy(Policy):
         self.current_source = DataSource.DISK
         self.profile_trusted = True
         self.audit_override: DataSource | None = None
-        self._stage: _StageAccounting | None = None
+        self._stage: StageAccounting | None = None
         self._external_times: deque[float] = deque(maxlen=8)
         # diagnostics
         self.decision_log: list[tuple[float, DataSource, str]] = []
@@ -209,23 +108,6 @@ class FlexFetchPolicy(Policy):
             return self.profile
         return self.profile.spliced(bursts, thinks)
 
-    def _upcoming_slice(self, profile: ExecutionProfile
-                        ) -> tuple[list[IOBurst], list[float]]:
-        """The next ~stage_length worth of profile after current bytes."""
-        start = profile.burst_index_for_bytes(self.tracker.total_bytes)
-        horizon = self.config.stage_length \
-            * self.config.decision_horizon_stages
-        bursts: list[IOBurst] = []
-        thinks: list[float] = []
-        acc = 0.0
-        for i in range(start, len(profile.bursts)):
-            bursts.append(profile.bursts[i])
-            thinks.append(profile.thinks[i])
-            acc += profile.bursts[i].duration + profile.thinks[i]
-            if acc > horizon:
-                break
-        return bursts, thinks
-
     # ------------------------------------------------------------------
     # decision machinery
     # ------------------------------------------------------------------
@@ -239,7 +121,9 @@ class FlexFetchPolicy(Policy):
         """
         assert self.env is not None
         profile = self._assembled_profile()
-        bursts, thinks = self._upcoming_slice(profile)
+        bursts, thinks = profile.upcoming_slice(
+            self.tracker.total_bytes,
+            self.config.stage_length * self.config.decision_horizon_stages)
         if not bursts:
             # Nothing known ahead: keep the current source.
             return self.current_source
@@ -247,7 +131,7 @@ class FlexFetchPolicy(Policy):
         if self.config.adaptive:
             # Live device states: the §2.2 on-line simulators start from
             # where the real devices are right now.
-            disk, wnic = self.env.disk, self.env.wnic
+            disk, wnic = None, None
         else:
             # FlexFetch-static decides "solely based on the profile"
             # (§3.3.4): its what-if devices are pristine (disk spun
@@ -256,12 +140,9 @@ class FlexFetchPolicy(Policy):
             from repro.devices.wnic import WirelessNic
             disk = HardDisk(self.env.disk.spec, start_time=now)
             wnic = WirelessNic(self.env.wnic.spec, start_time=now)
-        d = estimate_stage(DataSource.DISK, disk, bursts, thinks,
-                           now=now, layout=self.env.layout, vfs=vfs,
-                           other_device=wnic)
-        n = estimate_stage(DataSource.NETWORK, wnic, bursts,
-                           thinks, now=now, layout=self.env.layout,
-                           vfs=vfs, other_device=disk)
+        d, n = self.env.cost_model.stage_pair(bursts, thinks, now=now,
+                                              vfs=vfs, disk=disk,
+                                              wnic=wnic)
         source = decide(DecisionInputs(t_disk=d.time, e_disk=d.energy,
                                        t_network=n.time,
                                        e_network=n.energy),
@@ -278,7 +159,7 @@ class FlexFetchPolicy(Policy):
     def _begin_stage(self, now: Seconds, source: DataSource) -> None:
         assert self.env is not None
         self.current_source = source
-        self._stage = _StageAccounting(
+        self._stage = StageAccounting(
             start=now, source=source,
             disk_energy0=self.env.disk.energy(now),
             wnic_energy0=self.env.wnic.energy(now))
@@ -307,51 +188,6 @@ class FlexFetchPolicy(Policy):
                 and (t[-1] - t[-2]) < timeout
                 and (now - t[-1]) < timeout)
 
-    def _counterfactual_energy(self, now: Seconds,
-                               alt: DataSource) -> Joules:
-        """Replay the observed stage on the alternative device."""
-        assert self.env is not None and self._stage is not None
-        observed = self._stage.observed
-        if not observed:
-            return 0.0
-        if alt is DataSource.DISK and self._external_keepalive(now):
-            # The disk is up anyway; only the marginal service energy
-            # above the idle draw counts (§2.3.3: "almost free").
-            spec = self.env.disk.spec
-            marginal = 0.0
-            for req, _start, _end in observed:
-                svc = spec.access_time + req.size / spec.bandwidth_bps
-                marginal += svc * (spec.active_power - spec.idle_power)
-            return marginal
-        # Build burst/think structure from the observed request timings.
-        bursts: list[IOBurst] = []
-        thinks: list[float] = []
-        cur: list[ProfiledRequest] = [observed[0][0]]
-        cur_start, prev_end = observed[0][1], observed[0][2]
-        for req, start, end in observed[1:]:
-            gap = start - prev_end
-            if gap >= self.config.burst_threshold:
-                bursts.append(IOBurst(tuple(cur), cur_start, prev_end))
-                thinks.append(max(0.0, gap))
-                cur = [req]
-                cur_start = start
-            else:
-                cur.append(req)
-            prev_end = max(prev_end, end)
-        bursts.append(IOBurst(tuple(cur), cur_start, prev_end))
-        thinks.append(0.0)
-        device = (self.env.disk if alt is DataSource.DISK
-                  else self.env.wnic)
-        # Clone from the stage-start state is unavailable (devices moved
-        # on); cloning from *now* and replaying the stage's burst/think
-        # structure yields the same DPM behaviour because the clone's
-        # state converges after the first burst.  The initial-state
-        # difference is bounded by one mode transition.
-        est = estimate_stage(alt, device, bursts, thinks, now=now,
-                             layout=self.env.layout,
-                             min_duration=max(0.0, now - self._stage.start))
-        return est.energy
-
     def _audit_stage(self, now: Seconds) -> None:
         """Compare measured stage energy against the alternative."""
         assert self.env is not None and self._stage is not None
@@ -365,19 +201,18 @@ class FlexFetchPolicy(Policy):
         # requests (mid-stage failovers) is part of what that choice
         # cost, so the next stage's decision learns from the failure.
         measured += stage.cross_energy[chosen]
-        alt = chosen.other
-        counterfactual = self._counterfactual_energy(now, alt)
-        if not stage.observed:
+        outcome = audit_stage(
+            self.env.cost_model, stage, now, measured=measured,
+            burst_threshold=self.config.burst_threshold,
+            hysteresis=self.config.switch_hysteresis,
+            disk_kept_spinning=(chosen.other is DataSource.DISK
+                                and self._external_keepalive(now)))
+        if outcome is None:
             return
-        self.audit_log.append((now, measured, counterfactual, chosen))
-        if counterfactual < measured * (1.0 - self.config.switch_hysteresis):
-            # "disk or network, whichever was more energy efficient,
-            # will be used in the next stage, disregarding the profile".
-            self.audit_override = alt
-            self.profile_trusted = False
-        else:
-            self.audit_override = None
-            self.profile_trusted = True
+        self.audit_log.append((now, outcome.measured,
+                               outcome.counterfactual, chosen))
+        self.audit_override = outcome.override
+        self.profile_trusted = outcome.profile_trusted
 
     # ------------------------------------------------------------------
     # runtime hooks

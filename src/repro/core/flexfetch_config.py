@@ -1,0 +1,76 @@
+"""FlexFetch tunables (defaults = the paper's §3.1 settings).
+
+Split from :mod:`repro.core.flexfetch` so the policy module holds only
+decision logic; ``FlexFetchConfig(adaptive=False)`` still yields
+**FlexFetch-static**, the §3.3.4 ablation with profile-driven decisions
+but none of the runtime adaptation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.burst import BURST_THRESHOLD_DEFAULT
+from repro.core.decision import LOSS_RATE_DEFAULT
+from repro.core.profile import STAGE_LENGTH_DEFAULT
+
+
+@dataclass(frozen=True, slots=True)
+class FlexFetchConfig:
+    """FlexFetch tunables (defaults = §3.1 experimental settings)."""
+
+    loss_rate: float = LOSS_RATE_DEFAULT
+    stage_length: float = STAGE_LENGTH_DEFAULT
+    burst_threshold: float = BURST_THRESHOLD_DEFAULT
+    adaptive: bool = True
+    #: how many stage-lengths of profile the decision rule looks ahead.
+    #: One stage is myopic: a one-time cost like the active disk's
+    #: spin-down tail dominates and the policy clings to the incumbent
+    #: device; two stages amortise such transients correctly.
+    decision_horizon_stages: float = 2.0
+    #: relative energy advantage a source-switch must show before the
+    #: policy acts on it.  Damps thrashing when the two devices are
+    #: near break-even (mid-size think times), where estimate noise
+    #: would otherwise flip the source every stage and pay a spin-up or
+    #: mode-switch each time.
+    switch_hysteresis: float = 0.10
+    #: minimum simulated seconds between §2.3.1 re-evaluations.  The
+    #: paper re-evaluates "constantly"; bounding the cadence keeps the
+    #: on-line simulators' overhead negligible (the paper's own design
+    #: goal: "such simulation causes minimal overhead") without
+    #: affecting any stage-scale decision.
+    reevaluation_min_interval: float = 5.0
+    #: individually togglable adaptation features (for ablations);
+    #: ignored (all off) when ``adaptive`` is False.
+    use_splice_reevaluation: bool = True
+    use_stage_audit: bool = True
+    use_cache_filter: bool = True
+    use_free_rider: bool = True
+
+    def __post_init__(self) -> None:
+        if self.loss_rate < 0:
+            raise ValueError("loss rate cannot be negative")
+        if self.stage_length <= 0:
+            raise ValueError("stage length must be positive")
+        if self.burst_threshold <= 0:
+            raise ValueError("burst threshold must be positive")
+        if self.switch_hysteresis < 0:
+            raise ValueError("hysteresis cannot be negative")
+        if self.decision_horizon_stages <= 0:
+            raise ValueError("decision horizon must be positive")
+        if self.reevaluation_min_interval < 0:
+            raise ValueError("re-evaluation interval cannot be negative")
+
+    def feature(self, name: str) -> bool:
+        """Whether an adaptation feature is effectively enabled.
+
+        The three *runtime* adaptations (splice re-evaluation, stage
+        audit, free-riding) are gated by ``adaptive`` — they are what
+        FlexFetch-static lacks (§3.3.4: it "does not have the capability
+        to adapt to the run-time dynamics").  The §2.3.2 cache filter is
+        part of the estimation itself and applies to both variants;
+        toggle ``use_cache_filter`` directly to ablate it.
+        """
+        if name == "cache_filter":
+            return self.use_cache_filter
+        return self.adaptive and bool(getattr(self, f"use_{name}"))

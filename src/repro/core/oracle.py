@@ -25,14 +25,12 @@ exploration, and is reported by ``benchmarks/test_oracle.py``.
 
 from __future__ import annotations
 
-from repro.core.burst import IOBurst
 from repro.core.decision import (
     LOSS_RATE_DEFAULT,
     DataSource,
     DecisionInputs,
     decide,
 )
-from repro.core.estimator import estimate_stage
 from repro.core.policies import Policy, RequestContext
 from repro.core.profile import (
     STAGE_LENGTH_DEFAULT,
@@ -83,36 +81,14 @@ class ClairvoyantStagePolicy(Policy):
         self.decision_log: list[tuple[float, DataSource]] = []
 
     # ------------------------------------------------------------------
-    def _upcoming(
-            self, nbytes_seen: int) -> tuple[list[IOBurst], list[float]]:
-        start = self.profile.burst_index_for_bytes(nbytes_seen)
-        # Look ahead a couple of stages: a one-stage horizon lets
-        # one-time costs (an active disk's spin-down tail) dominate and
-        # pins the choice to the incumbent device.
-        horizon = self.stage_length * self.horizon_stages
-        bursts, thinks = [], []
-        acc = 0.0
-        for i in range(start, len(self.profile.bursts)):
-            bursts.append(self.profile.bursts[i])
-            thinks.append(self.profile.thinks[i])
-            acc += self.profile.bursts[i].duration + self.profile.thinks[i]
-            if acc > horizon:
-                break
-        return bursts, thinks
-
     def _decide(self, now: Seconds) -> None:
         assert self.env is not None
-        bursts, thinks = self._upcoming(self._bytes_seen)
+        bursts, thinks = self.profile.upcoming_slice(
+            self._bytes_seen, self.stage_length * self.horizon_stages)
         if not bursts:
             return
-        d = estimate_stage(DataSource.DISK, self.env.disk, bursts, thinks,
-                           now=now, layout=self.env.layout,
-                           vfs=self.env.vfs,
-                           other_device=self.env.wnic)
-        n = estimate_stage(DataSource.NETWORK, self.env.wnic, bursts,
-                           thinks, now=now, layout=self.env.layout,
-                           vfs=self.env.vfs,
-                           other_device=self.env.disk)
+        d, n = self.env.cost_model.stage_pair(bursts, thinks, now=now,
+                                              vfs=self.env.vfs)
         source = decide(
             DecisionInputs(t_disk=d.time, e_disk=d.energy,
                            t_network=n.time, e_network=n.energy),

@@ -20,7 +20,7 @@ from repro.traces.record import OpType
 from repro.units import Bytes, Joules, Seconds
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.simulator import MobileSystem
+    from repro.core.system import MobileSystem
 
 
 @dataclass(frozen=True, slots=True)

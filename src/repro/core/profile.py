@@ -142,6 +142,28 @@ class ExecutionProfile:
         thinks = self.thinks[stage.first:stage.last + 1]
         return bursts, thinks
 
+    def upcoming_slice(self, nbytes_seen: Bytes, horizon: Seconds
+                       ) -> tuple[list[IOBurst], list[float]]:
+        """The next ~``horizon`` seconds of profile after ``nbytes_seen``.
+
+        The decision rules replay this slice through the device clones.
+        A one-stage horizon is myopic — a one-time cost like the active
+        disk's spin-down tail dominates and pins the choice to the
+        incumbent device — so callers typically look a couple of stage
+        lengths ahead.
+        """
+        start = self.burst_index_for_bytes(nbytes_seen)
+        bursts: list[IOBurst] = []
+        thinks: list[float] = []
+        acc = 0.0
+        for i in range(start, len(self.bursts)):
+            bursts.append(self.bursts[i])
+            thinks.append(self.thinks[i])
+            acc += self.bursts[i].duration + self.thinks[i]
+            if acc > horizon:
+                break
+        return bursts, thinks
+
     # ------------------------------------------------------------------
     def spliced(self, observed_bursts: Sequence[IOBurst],
                 observed_thinks: Sequence[float]) -> ExecutionProfile:

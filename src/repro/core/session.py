@@ -1,0 +1,321 @@
+"""The simulation facade: one object that wires all five layers.
+
+"We built a simulator that is driven by real-life applications'
+execution traces...  It simulates the management of two storage devices
+(hard disk and wireless interface card) and the buffer cache in the
+memory."  :class:`SimulationSession` is that simulator, assembled from
+explicit layers over the :class:`~repro.sim.engine.EventLoop`:
+
+* **workload** (`repro.core.workload`) — closed-loop
+  :class:`ProgramDriver`\\ s replaying recorded traces;
+* **kernel** (`repro.kernel.path`) — every syscall walks the
+  cache/readahead/write-back path; only misses reach a device;
+* **device services** (`repro.devices.service`) — disk and WNIC behind
+  one protocol, owning spin-up/PSM accounting and fault paths;
+* **policy routing** (`repro.core.routing`) — the policy under test
+  routes each miss extent, with retry/failover recovery under faults;
+* **telemetry** (`repro.core.telemetry`) — pluggable metrics sinks and
+  the final :class:`RunResult`.
+
+Use it constructor-style::
+
+    result = SimulationSession([ProgramSpec(trace)], policy,
+                               seed=7).run()
+
+or builder-style::
+
+    result = (SimulationSession()
+              .with_programs(ProgramSpec(trace))
+              .with_policy(FlexFetchPolicy(profile))
+              .with_seed(7)
+              .add_sink(RecordingSink())
+              .run())
+
+Replay semantics (unchanged from the original monolithic simulator):
+non-profiled, disk-pinned background programs share the disk and the
+cache and are reported to the policy as external disk activity;
+laptop-mode write-back flushes piggy-back on an active disk and are
+asynchronous (they cost device time and energy but never delay the
+program).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.policies import Policy, RequestContext
+from repro.core.routing import RequestRouter
+from repro.core.system import MobileSystem
+from repro.core.telemetry import (
+    MetricsSink,
+    RunResult,
+    SinkSet,
+    build_run_result,
+)
+from repro.core.workload import ProgramDriver, ProgramSpec
+from repro.devices.dpm import SpindownPolicy
+from repro.devices.specs import AIRONET_350, HITACHI_DK23DA, DiskSpec, WnicSpec
+from repro.faults.invariants import InvariantChecker
+from repro.faults.schedule import FaultSchedule
+from repro.sim.clock import MB
+from repro.sim.engine import EventLoop, SimulationError
+from repro.traces.record import OpType
+from repro.units import Bytes
+
+
+class SimulationSession:
+    """Builder-style facade over the layered replay simulator."""
+
+    def __init__(self, programs: Sequence[ProgramSpec] | None = None,
+                 policy: Policy | None = None, *,
+                 disk_spec: DiskSpec = HITACHI_DK23DA,
+                 wnic_spec: WnicSpec = AIRONET_350,
+                 memory_bytes: Bytes = 64 * MB,
+                 seed: int = 0,
+                 spindown_policy: SpindownPolicy | None = None,
+                 faults: FaultSchedule | None = None,
+                 strict: bool = False,
+                 sinks: Iterable[MetricsSink] = ()) -> None:
+        self._program_specs: list[ProgramSpec] = list(programs or ())
+        self._policy = policy
+        self._disk_spec = disk_spec
+        self._wnic_spec = wnic_spec
+        self._memory_bytes = memory_bytes
+        self._seed = seed
+        self._spindown_policy = spindown_policy
+        self._faults = faults
+        self._strict = strict
+        self.sinks = SinkSet(tuple(sinks))
+        self._request_count = 0
+        self._materialised = False
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # builder surface
+    # ------------------------------------------------------------------
+    def _configure(self) -> None:
+        if self._materialised:
+            raise SimulationError(
+                "session already materialised; configure before run()"
+                " or env/policy access")
+
+    def with_programs(self, *programs: ProgramSpec) -> SimulationSession:
+        """Add programs to the replay (order is the scheduling order)."""
+        self._configure()
+        self._program_specs.extend(programs)
+        return self
+
+    def with_policy(self, policy: Policy) -> SimulationSession:
+        """Set the data-source selection policy under test."""
+        self._configure()
+        self._policy = policy
+        return self
+
+    def with_devices(self, *, disk_spec: DiskSpec | None = None,
+                     wnic_spec: WnicSpec | None = None
+                     ) -> SimulationSession:
+        """Override the disk and/or WNIC hardware specs."""
+        self._configure()
+        if disk_spec is not None:
+            self._disk_spec = disk_spec
+        if wnic_spec is not None:
+            self._wnic_spec = wnic_spec
+        return self
+
+    def with_memory(self, memory_bytes: Bytes) -> SimulationSession:
+        """Set the buffer-cache size."""
+        self._configure()
+        self._memory_bytes = memory_bytes
+        return self
+
+    def with_seed(self, seed: int) -> SimulationSession:
+        """Set the experiment seed (disk layout placement)."""
+        self._configure()
+        self._seed = seed
+        return self
+
+    def with_spindown_policy(self, policy: SpindownPolicy
+                             ) -> SimulationSession:
+        """Override the disk's DPM spin-down policy."""
+        self._configure()
+        self._spindown_policy = policy
+        return self
+
+    def with_faults(self, faults: FaultSchedule | None,
+                    *, strict: bool | None = None) -> SimulationSession:
+        """Attach a fault schedule (and optionally strict checking)."""
+        self._configure()
+        self._faults = faults
+        if strict is not None:
+            self._strict = strict
+        return self
+
+    def with_strict(self, strict: bool = True) -> SimulationSession:
+        """Toggle runtime invariant checking (fail loudly)."""
+        self._configure()
+        self._strict = strict
+        return self
+
+    def add_sink(self, sink: MetricsSink) -> SimulationSession:
+        """Attach a telemetry sink (any number may ride along)."""
+        if self._ran:
+            raise SimulationError(
+                "session already ran; attach sinks before run()")
+        self.sinks.add(sink)
+        return self
+
+    @property
+    def sink_errors(self) -> list[tuple[str, str, str]]:
+        """(sink type, hook, message) for every sink disabled mid-run."""
+        return list(self.sinks.errors)
+
+    # ------------------------------------------------------------------
+    # materialisation
+    # ------------------------------------------------------------------
+    def _materialise(self) -> None:
+        """Build and wire the layers (idempotent)."""
+        if self._materialised:
+            return
+        if not self._program_specs:
+            raise ValueError("need at least one program")
+        if self._policy is None:
+            raise ValueError("need a policy (with_policy or constructor)")
+        self.env = MobileSystem(
+            disk_spec=self._disk_spec, wnic_spec=self._wnic_spec,
+            memory_bytes=self._memory_bytes, seed=self._seed,
+            spindown_policy=self._spindown_policy)
+        for spec in self._program_specs:
+            self.env.register_trace(spec.trace)
+        self.policy = self._policy
+        self.programs = [ProgramDriver(s) for s in self._program_specs]
+        self.loop = EventLoop()
+        # A schedule with nothing scheduled must be a strict no-op: the
+        # devices never see it and every float path stays byte-identical.
+        self.faults = self._faults \
+            if self._faults is not None and self._faults.enabled else None
+        if self.faults is not None:
+            self.env.disk.set_fault_schedule(self.faults)
+            self.env.wnic.set_fault_schedule(self.faults)
+        self._checker = InvariantChecker() if self._strict else None
+        self.router = RequestRouter(self.env, self.policy,
+                                    faults=self.faults,
+                                    checker=self._checker)
+        self._materialised = True
+
+    # ------------------------------------------------------------------
+    # syscall processing
+    # ------------------------------------------------------------------
+    def _process(self, prog: ProgramDriver) -> None:
+        now = self.loop.now
+        rec = prog.current
+        self._request_count += 1
+        if self._checker is not None:
+            self._checker.on_clock(now, self.env)
+            self._checker.on_record(prog.name, prog.index, rec.size)
+        self.env.advance(now)
+        self.policy.on_tick(now)
+
+        if rec.op is OpType.READ:
+            extents = self.env.kernel.read(rec.pid, rec.inode, rec.offset,
+                                           rec.size, now)
+            completion = now
+            for extent in extents:
+                _source, result = self.router.service(
+                    prog, extent, completion, OpType.READ)
+                completion = result.completion
+                self.sinks.on_service(prog.name, _source.value,
+                                      extent.nbytes, result.energy,
+                                      result.completion)
+        else:
+            forced = self.env.kernel.write(rec.pid, rec.inode, rec.offset,
+                                           rec.size, now)
+            completion = now  # async write-back: write() returns at once
+            for extent in forced:
+                # Forced evictions must hit a device immediately; they
+                # run asynchronously and do not delay the program.
+                source, result = self.router.service(
+                    prog, extent, now, OpType.WRITE)
+                self.sinks.on_service(prog.name, source.value,
+                                      extent.nbytes, result.energy,
+                                      result.completion)
+
+        # Laptop-mode opportunistic flush.
+        flush = self.env.kernel.plan_writeback(
+            completion, disk_active=self.env.disk_active)
+        for extent in flush:
+            source, result = self.router.service(
+                prog, extent, completion, OpType.WRITE)
+            self.sinks.on_service(prog.name, source.value,
+                                  extent.nbytes, result.energy,
+                                  result.completion)
+
+        if prog.spec.profiled and rec.size > 0:
+            # Demand-level observation (§2.1): every data-moving call,
+            # cached or not, with the application's byte count.
+            self.policy.on_syscall(RequestContext(
+                now=now, program=prog.name, profiled=True,
+                disk_pinned=prog.spec.disk_pinned, inode=rec.inode,
+                offset=rec.offset, nbytes=rec.size, op=rec.op),
+                now, completion)
+            self.sinks.on_syscall(prog.name, rec.op.value, rec.size, now)
+
+        prog.last_completion = completion
+        think = prog.advance()
+        if think is None:
+            return
+        self.loop.schedule_at(completion + think,
+                              lambda p=prog: self._process(p),
+                              label=f"{prog.name}[{prog.index}]")
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        """Replay everything; returns the accounting."""
+        if self._ran:
+            raise SimulationError(
+                "session already ran; build a fresh SimulationSession"
+                " (policies and devices are stateful)")
+        self._materialise()
+        self._ran = True
+        self.policy.attach(self.env)
+        self.policy.begin_run(0.0)
+        self.sinks.on_run_begin(self.policy.name, 0.0)
+        for prog in self.programs:
+            if not prog.done:
+                first = prog.records[0]
+                self.loop.schedule_at(first.timestamp,
+                                      lambda p=prog: self._process(p),
+                                      label=f"{prog.name}[0]")
+        self.loop.run()
+        end_time = max((p.last_completion for p in self.programs),
+                       default=0.0)
+        # Asynchronous flushes and in-flight transitions can commit the
+        # devices past the last program completion; the run ends (and
+        # energy/residency are measured) once all I/O has settled, so
+        # the books balance exactly.
+        end_time = max(end_time, self.env.disk.busy_until,
+                       self.env.wnic.busy_until)
+        self.env.advance(end_time)
+        self.policy.end_run(end_time)
+
+        fg_time = max((p.last_completion for p in self.programs
+                       if p.spec.profiled), default=0.0)
+        result = build_run_result(
+            self.env, policy_name=self.policy.name,
+            routed_requests={k.value: v for k, v
+                             in self.policy.routed_requests.items()},
+            routed_bytes={k.value: v for k, v
+                          in self.policy.routed_bytes.items()},
+            end_time=end_time, foreground_time=fg_time,
+            requests=self._request_count,
+            fault_retries=self.router.fault_retries,
+            fault_failovers=self.router.fault_failovers,
+            fault_wasted_energy=self.router.fault_wasted)
+        if self._checker is not None:
+            expected = {
+                p.name: (len(p.records), sum(r.size for r in p.records))
+                for p in self.programs}
+            self._checker.on_end(result, expected,
+                                 disk_spec=self.env.disk.spec,
+                                 wnic_spec=self.env.wnic.spec)
+        self.sinks.on_run_end(result)
+        return result

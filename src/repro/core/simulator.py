@@ -1,160 +1,54 @@
-"""Trace-driven closed-loop replay (§3.1).
+"""Deprecated home of the replay simulator (use the session facade).
 
-"We built a simulator that is driven by real-life applications'
-execution traces...  It simulates the management of two storage devices
-(hard disk and wireless interface card) and the buffer cache in the
-memory."  This module is that simulator:
+The monolithic ``ReplaySimulator`` was decomposed into explicit layers:
 
-* each program replays **closed-loop**: request *i+1* issues one
-  recorded think time after request *i* completes, so slow devices
-  stretch the run (and the performance-loss rule has teeth);
-* every syscall walks the kernel path (cache -> readahead -> miss
-  extents); only misses reach a device;
-* the policy under test routes each miss extent to the disk or the
-  WNIC; devices integrate energy continuously, including DPM timeouts
-  firing inside think gaps;
-* non-profiled, disk-pinned background programs (xmms in §3.3.4) share
-  the disk and the cache and are reported to the policy as external
-  disk activity;
-* laptop-mode write-back flushes piggy-back on an active disk and are
-  asynchronous (they cost device time and energy but never delay the
-  program).
+* workload drivers   -> :mod:`repro.core.workload`
+* kernel path        -> :mod:`repro.kernel.path`
+* device services    -> :mod:`repro.devices.service`
+* policy routing     -> :mod:`repro.core.routing`
+* telemetry / result -> :mod:`repro.core.telemetry`
+* the wiring         -> :class:`repro.core.session.SimulationSession`
+
+New code should construct a :class:`~repro.core.session.SimulationSession`
+directly.  This module keeps the old names importable —
+``ReplaySimulator``, ``ProgramSpec``, ``RunResult``, ``MobileSystem`` —
+with identical behaviour (bit-for-bit identical results for identical
+seeds), as a thin shim over the session.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
-from repro.core.decision import DataSource
-from repro.core.policies import Policy, RequestContext
-from repro.devices.disk import DiskServiceResult, DiskState, HardDisk
+from repro.core.policies import Policy
+from repro.core.session import SimulationSession
+from repro.core.system import MobileSystem
+from repro.core.telemetry import RunResult
+from repro.core.workload import ProgramDriver, ProgramSpec
 from repro.devices.dpm import SpindownPolicy
-from repro.devices.layout import BLOCK_SIZE, DiskLayout
-from repro.devices.specs import HITACHI_DK23DA, AIRONET_350, DiskSpec, WnicSpec
-from repro.devices.wnic import Direction, WirelessNic, WnicServiceResult
-from repro.faults.invariants import InvariantChecker
+from repro.devices.specs import AIRONET_350, HITACHI_DK23DA, DiskSpec, WnicSpec
 from repro.faults.schedule import FaultSchedule
-from repro.kernel.page import Extent
-from repro.kernel.scheduler import CScanScheduler, DiskExtent
-from repro.kernel.vfs import VirtualFileSystem
 from repro.sim.clock import MB
-from repro.sim.engine import EventLoop, SimulationError
-from repro.traces.record import OpType, SyscallRecord
-from repro.traces.trace import Trace
-from repro.units import Bytes, Joules, Seconds
+from repro.units import Bytes
+
+__all__ = [
+    "MobileSystem",
+    "ProgramSpec",
+    "ReplaySimulator",
+    "RunResult",
+]
+
+#: old private name, kept for introspection-heavy callers.
+_ProgramState = ProgramDriver
 
 
-@dataclass(frozen=True, slots=True)
-class ProgramSpec:
-    """One program participating in a replay.
+class ReplaySimulator(SimulationSession):
+    """Deprecated alias of :class:`SimulationSession`.
 
-    ``profiled`` — FlexFetch has (or builds) a profile for it;
-    ``disk_pinned`` — its data exists only on the local disk (no remote
-    replica), so every request must go to the disk.
+    Unlike the lazily materialised session, the legacy constructor built
+    the whole environment eagerly (``sim.env``, ``sim.programs`` were
+    inspectable before ``run()``, and an empty program list raised at
+    construction).  The shim preserves that by materialising in
+    ``__init__``.
     """
-
-    trace: Trace
-    profiled: bool = True
-    disk_pinned: bool = False
-
-
-@dataclass
-class RunResult:
-    """Everything a replay produces."""
-
-    policy: str
-    end_time: Seconds
-    foreground_time: Seconds
-    disk_energy: Joules
-    wnic_energy: Joules
-    requests: int
-    device_requests: dict[str, int]
-    device_bytes: dict[str, int]
-    cache_hit_ratio: float
-    disk_spinups: int
-    disk_spindowns: int
-    wnic_wakeups: int
-    disk_breakdown: dict[str, float] = field(default_factory=dict)
-    wnic_breakdown: dict[str, float] = field(default_factory=dict)
-    disk_residency: dict[str, float] = field(default_factory=dict)
-    wnic_residency: dict[str, float] = field(default_factory=dict)
-    #: fault-injection accounting (all zero without a fault schedule).
-    disk_spinup_failures: int = 0
-    fault_retries: dict[str, int] = field(default_factory=dict)
-    fault_failovers: dict[str, int] = field(default_factory=dict)
-    fault_wasted_energy: dict[str, float] = field(default_factory=dict)
-
-    @property
-    def total_energy(self) -> Joules:
-        """Total I/O energy: disk plus WNIC (the paper's y-axis)."""
-        return self.disk_energy + self.wnic_energy
-
-    def summary(self) -> str:
-        """One-line human-readable result."""
-        return (f"{self.policy:18s} E={self.total_energy:8.1f} J"
-                f" (disk {self.disk_energy:7.1f} / wnic"
-                f" {self.wnic_energy:7.1f})  T={self.end_time:8.1f} s")
-
-
-class MobileSystem:
-    """Shared environment: devices, kernel path, and disk layout."""
-
-    def __init__(self, *, disk_spec: DiskSpec = HITACHI_DK23DA,
-                 wnic_spec: WnicSpec = AIRONET_350,
-                 memory_bytes: Bytes = 64 * MB,
-                 seed: int = 0,
-                 spindown_policy: SpindownPolicy | None = None) -> None:
-        self.disk = HardDisk(disk_spec, spindown_policy=spindown_policy)
-        self.wnic = WirelessNic(wnic_spec)
-        self.vfs = VirtualFileSystem(memory_bytes)
-        self.layout = DiskLayout(seed)
-        self.scheduler = CScanScheduler()
-
-    def register_trace(self, trace: Trace) -> None:
-        """Make a trace's files known to the VFS and the disk layout."""
-        for info in sorted(trace.files.values(), key=lambda f: f.inode):
-            self.vfs.register_file(info.inode, info.size_bytes)
-            self.layout.add_file(info.inode, max(info.size_bytes, 1))
-
-    @property
-    def disk_active(self) -> bool:
-        """Disk spinning (idle or active)?"""
-        return self.disk.state != DiskState.STANDBY.value
-
-    def advance(self, now: Seconds) -> None:
-        """Advance both devices (DPM timers fire as needed)."""
-        self.disk.advance_to(now)
-        self.wnic.advance_to(now)
-
-
-class _ProgramState:
-    """Replay cursor of one program."""
-
-    def __init__(self, spec: ProgramSpec) -> None:
-        self.spec = spec
-        self.records: list[SyscallRecord] = spec.trace.data_records()
-        # Closed-loop think times: gap between call i's return and call
-        # i+1's entry in the recording.
-        self.thinks: list[float] = [
-            max(0.0, nxt.timestamp - cur.end_time)
-            for cur, nxt in zip(self.records, self.records[1:], strict=False)
-        ]
-        self.index = 0
-        self.last_completion = 0.0
-        self.done = not self.records
-
-    @property
-    def name(self) -> str:
-        return self.spec.trace.name
-
-
-class ReplaySimulator:
-    """Replays programs under a policy and accounts the energy."""
-
-    #: circuit breaker on one request's fault-recovery chain; pathological
-    #: hand-built schedules aside, the consecutive-spin-up-failure cap in
-    #: :class:`FaultSchedule` guarantees success far below this.
-    MAX_FAULT_ATTEMPTS = 32
 
     def __init__(self, programs: list[ProgramSpec], policy: Policy, *,
                  disk_spec: DiskSpec = HITACHI_DK23DA,
@@ -164,276 +58,8 @@ class ReplaySimulator:
                  spindown_policy: SpindownPolicy | None = None,
                  faults: FaultSchedule | None = None,
                  strict: bool = False) -> None:
-        if not programs:
-            raise ValueError("need at least one program")
-        self.env = MobileSystem(disk_spec=disk_spec, wnic_spec=wnic_spec,
-                                memory_bytes=memory_bytes, seed=seed,
-                                spindown_policy=spindown_policy)
-        for spec in programs:
-            self.env.register_trace(spec.trace)
-        self.policy = policy
-        self.programs = [_ProgramState(s) for s in programs]
-        self.loop = EventLoop()
-        self._request_count = 0
-        # A schedule with nothing scheduled must be a strict no-op: the
-        # devices never see it and every float path stays byte-identical.
-        self.faults = faults if faults is not None and faults.enabled \
-            else None
-        if self.faults is not None:
-            self.env.disk.set_fault_schedule(self.faults)
-            self.env.wnic.set_fault_schedule(self.faults)
-        self._checker = InvariantChecker() if strict else None
-        self._avoid_until = {DataSource.DISK: float("-inf"),
-                             DataSource.NETWORK: float("-inf")}
-        self._fault_retries: dict[str, int] = {}
-        self._fault_failovers: dict[str, int] = {}
-        self._fault_wasted: dict[str, float] = {}
-
-    # ------------------------------------------------------------------
-    # device service
-    # ------------------------------------------------------------------
-    def _service_extent(
-            self, extent: Extent, source: DataSource, when: Seconds,
-            op: OpType) -> DiskServiceResult | WnicServiceResult:
-        """Move one extent on the chosen device, returning its result."""
-        if source is DataSource.DISK:
-            block = self.env.layout.block_of(extent.inode,
-                                             extent.start * BLOCK_SIZE)
-            return self.env.disk.service(when, extent.nbytes, block=block,
-                                         block_count=extent.npages)
-        direction = Direction.RECV if op is OpType.READ else Direction.SEND
-        return self.env.wnic.service(when, extent.nbytes,
-                                     direction=direction)
-
-    def _route_and_service(self, prog: _ProgramState, extent: Extent,
-                           when: Seconds, op: OpType) -> float:
-        """Policy-route one extent; returns its completion time."""
-        ctx = RequestContext(
-            now=when, program=prog.name, profiled=prog.spec.profiled,
-            disk_pinned=prog.spec.disk_pinned, inode=extent.inode,
-            offset=extent.start * BLOCK_SIZE, nbytes=extent.nbytes, op=op)
-        source = self.policy.route(ctx)
-        if self.faults is None:
-            result = self._service_extent(extent, source, when, op)
-        else:
-            source, result = self._service_with_recovery(
-                prog, extent, source, when, op, ctx)
-        if op is OpType.READ:
-            self.env.vfs.complete_fetch(extent, result.completion)
-        if not prog.spec.profiled and source is DataSource.DISK:
-            self.policy.on_external_disk_request(when)
-        self.policy.on_serviced(ctx, source, result)
-        if self._checker is not None:
-            self._checker.on_service(result, program=prog.name,
-                                     source=source.value)
-        return result.completion
-
-    # ------------------------------------------------------------------
-    # fault recovery
-    # ------------------------------------------------------------------
-    def _effective_source(self, intended: DataSource,
-                          ctx: RequestContext) -> DataSource:
-        """Honour failover cooldowns: avoid a recently failed device."""
-        if ctx.disk_pinned:
-            return DataSource.DISK
-        other = (DataSource.NETWORK if intended is DataSource.DISK
-                 else DataSource.DISK)
-        if (ctx.now < self._avoid_until[intended]
-                and ctx.now >= self._avoid_until[other]):
-            return other
-        return intended
-
-    def _service_with_recovery(
-            self, prog: _ProgramState, extent: Extent,
-            intended: DataSource, when: Seconds, op: OpType,
-            ctx: RequestContext,
-    ) -> tuple[DataSource, DiskServiceResult | WnicServiceResult]:
-        """Service under faults: timeout -> backoff retries -> failover.
-
-        A network fetch that hits an outage times out after
-        ``spec.network_timeout`` and is retried with exponential backoff;
-        once the retry budget is spent the request fails over mid-stage
-        to the disk.  Symmetrically a disk whose spin-up retries are
-        exhausted (the device retries internally) fails over to the
-        WNIC.  Disk-pinned data has no replica, so it can only back off
-        and retry the disk.  Returns ``(actual_source, result)``.
-        """
-        spec = self.faults.spec
-        current = self._effective_source(intended, ctx)
-        t = when
-        attempts_on = {DataSource.DISK: 0, DataSource.NETWORK: 0}
-        total_attempts = 0
-        cross_energy = 0.0
-        while True:
-            result = self._service_extent(extent, current, t, op)
-            if current is not intended:
-                cross_energy += result.energy
-            if not getattr(result, "failed", False):
-                break
-            total_attempts += 1
-            attempts_on[current] += 1
-            self._fault_retries[current.value] = \
-                self._fault_retries.get(current.value, 0) + 1
-            self._fault_wasted[current.value] = \
-                self._fault_wasted.get(current.value, 0.0) + result.energy
-            if total_attempts >= self.MAX_FAULT_ATTEMPTS:
-                raise SimulationError(
-                    f"fault recovery for {prog.name!r} exceeded"
-                    f" {self.MAX_FAULT_ATTEMPTS} attempts at"
-                    f" t={result.completion:.3f}")
-            t = result.completion
-            # The disk retries spin-up internally (bounded backoff), so a
-            # failed disk service has already spent its budget.
-            budget = (spec.network_retries
-                      if current is DataSource.NETWORK else 0)
-            if attempts_on[current] > budget and not ctx.disk_pinned:
-                fallback = (DataSource.DISK
-                            if current is DataSource.NETWORK
-                            else DataSource.NETWORK)
-                self._avoid_until[current] = t + spec.failover_cooldown
-                self._fault_failovers[current.value] = \
-                    self._fault_failovers.get(current.value, 0) + 1
-                self.policy.on_failover(t, current, fallback)
-                current = fallback
-                attempts_on[current] = 0
-            else:
-                t += spec.retry_backoff * 2 ** (attempts_on[current] - 1)
-        if total_attempts or cross_energy:
-            # Tell the policy so its stage-end audit can attribute the
-            # retry waste / cross-device service to the intended source.
-            self.policy.on_fault(result.completion, intended,
-                                 cross_energy, total_attempts)
-        if current is not intended:
-            # The route() tally charged the intended device; move it.
-            self.policy.routed_requests[intended] -= 1
-            self.policy.routed_bytes[intended] -= ctx.nbytes
-            self.policy.routed_requests[current] += 1
-            self.policy.routed_bytes[current] += ctx.nbytes
-        return current, result
-
-    def _order_for_disk(self, extents: list[Extent]) -> list[Extent]:
-        """C-SCAN-order a batch of extents by their disk placement."""
-        if len(extents) <= 1:
-            return extents
-        requests = [
-            DiskExtent(extent=e,
-                       start_block=self.env.layout.block_of(
-                           e.inode, e.start * BLOCK_SIZE))
-            for e in extents
-        ]
-        return [r.extent for r in self.env.scheduler.order(requests)]
-
-    # ------------------------------------------------------------------
-    # syscall processing
-    # ------------------------------------------------------------------
-    def _process(self, prog: _ProgramState) -> None:
-        now = self.loop.now
-        rec = prog.records[prog.index]
-        self._request_count += 1
-        if self._checker is not None:
-            self._checker.on_clock(now, self.env)
-            self._checker.on_record(prog.name, prog.index, rec.size)
-        self.env.advance(now)
-        self.policy.on_tick(now)
-
-        if rec.op is OpType.READ:
-            plan = self.env.vfs.read(rec.pid, rec.inode, rec.offset,
-                                     rec.size, now)
-            completion = now
-            extents = self._order_for_disk(list(plan.fetch_extents))
-            for extent in extents:
-                completion = self._route_and_service(
-                    prog, extent, completion, OpType.READ)
-        else:
-            forced = self.env.vfs.write(rec.pid, rec.inode, rec.offset,
-                                        rec.size, now)
-            completion = now  # async write-back: write() returns at once
-            for extent in forced:
-                # Forced evictions must hit a device immediately; they
-                # run asynchronously and do not delay the program.
-                self._route_and_service(prog, extent, now, OpType.WRITE)
-
-        # Laptop-mode opportunistic flush.
-        flush = self.env.vfs.plan_writeback(
-            completion, disk_active=self.env.disk_active)
-        for extent in flush:
-            self._route_and_service(prog, extent, completion, OpType.WRITE)
-
-        if prog.spec.profiled and rec.size > 0:
-            # Demand-level observation (§2.1): every data-moving call,
-            # cached or not, with the application's byte count.
-            self.policy.on_syscall(RequestContext(
-                now=now, program=prog.name, profiled=True,
-                disk_pinned=prog.spec.disk_pinned, inode=rec.inode,
-                offset=rec.offset, nbytes=rec.size, op=rec.op),
-                now, completion)
-
-        prog.last_completion = completion
-        prog.index += 1
-        if prog.index >= len(prog.records):
-            prog.done = True
-            return
-        think = prog.thinks[prog.index - 1]
-        self.loop.schedule_at(completion + think,
-                              lambda p=prog: self._process(p),
-                              label=f"{prog.name}[{prog.index}]")
-
-    # ------------------------------------------------------------------
-    def run(self) -> RunResult:
-        """Replay everything; returns the accounting."""
-        self.policy.attach(self.env)
-        self.policy.begin_run(0.0)
-        for prog in self.programs:
-            if not prog.done:
-                first = prog.records[0]
-                self.loop.schedule_at(first.timestamp,
-                                      lambda p=prog: self._process(p),
-                                      label=f"{prog.name}[0]")
-        self.loop.run()
-        end_time = max((p.last_completion for p in self.programs),
-                       default=0.0)
-        # Asynchronous flushes and in-flight transitions can commit the
-        # devices past the last program completion; the run ends (and
-        # energy/residency are measured) once all I/O has settled, so
-        # the books balance exactly.
-        end_time = max(end_time, self.env.disk.busy_until,
-                       self.env.wnic.busy_until)
-        self.env.advance(end_time)
-        self.policy.end_run(end_time)
-
-        fg_time = max((p.last_completion for p in self.programs
-                       if p.spec.profiled), default=0.0)
-        disk_e = self.env.disk.energy(end_time)
-        wnic_e = self.env.wnic.energy(end_time)
-        result = RunResult(
-            policy=self.policy.name,
-            end_time=end_time,
-            foreground_time=fg_time,
-            disk_energy=disk_e,
-            wnic_energy=wnic_e,
-            requests=self._request_count,
-            device_requests={k.value: v for k, v
-                             in self.policy.routed_requests.items()},
-            device_bytes={k.value: v for k, v
-                          in self.policy.routed_bytes.items()},
-            cache_hit_ratio=self.env.vfs.cache.stats.hit_ratio,
-            disk_spinups=self.env.disk.spinup_count,
-            disk_spindowns=self.env.disk.spindown_count,
-            wnic_wakeups=self.env.wnic.wakeup_count,
-            disk_breakdown=self.env.disk.meter.breakdown(),
-            wnic_breakdown=self.env.wnic.meter.breakdown(),
-            disk_residency=self.env.disk.residency(end_time),
-            wnic_residency=self.env.wnic.residency(end_time),
-            disk_spinup_failures=self.env.disk.spinup_failure_count,
-            fault_retries=dict(self._fault_retries),
-            fault_failovers=dict(self._fault_failovers),
-            fault_wasted_energy=dict(self._fault_wasted),
-        )
-        if self._checker is not None:
-            expected = {
-                p.name: (len(p.records), sum(r.size for r in p.records))
-                for p in self.programs}
-            self._checker.on_end(result, expected,
-                                 disk_spec=self.env.disk.spec,
-                                 wnic_spec=self.env.wnic.spec)
-        return result
+        super().__init__(programs, policy, disk_spec=disk_spec,
+                         wnic_spec=wnic_spec, memory_bytes=memory_bytes,
+                         seed=seed, spindown_policy=spindown_policy,
+                         faults=faults, strict=strict)
+        self._materialise()

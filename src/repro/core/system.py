@@ -1,0 +1,79 @@
+"""Shared simulation environment: devices, kernel path, cost model.
+
+:class:`MobileSystem` wires the bottom layers together for one replay —
+the two storage devices, the disk layout, the kernel path
+(cache/readahead/write-back/C-SCAN) and the shared
+:class:`~repro.core.costmodel.CostModel` every policy estimates with.
+It owns no policy logic and no replay loop; those live in the routing
+and session layers above.
+"""
+
+from __future__ import annotations
+
+from repro.core.costmodel import CostModel
+from repro.core.decision import DataSource
+from repro.devices.disk import DiskState, HardDisk
+from repro.devices.dpm import SpindownPolicy
+from repro.devices.layout import BLOCK_SIZE, DiskLayout
+from repro.devices.service import (
+    DeviceService,
+    DiskService,
+    WnicService,
+)
+from repro.devices.specs import AIRONET_350, HITACHI_DK23DA, DiskSpec, WnicSpec
+from repro.devices.wnic import WirelessNic
+from repro.kernel.page import Extent
+from repro.kernel.path import KernelPath
+from repro.kernel.scheduler import CScanScheduler
+from repro.kernel.vfs import VirtualFileSystem
+from repro.sim.clock import MB
+from repro.traces.trace import Trace
+from repro.units import Bytes, Seconds
+
+
+class MobileSystem:
+    """Shared environment: devices, kernel path, and disk layout."""
+
+    def __init__(self, *, disk_spec: DiskSpec = HITACHI_DK23DA,
+                 wnic_spec: WnicSpec = AIRONET_350,
+                 memory_bytes: Bytes = 64 * MB,
+                 seed: int = 0,
+                 spindown_policy: SpindownPolicy | None = None) -> None:
+        self.disk = HardDisk(disk_spec, spindown_policy=spindown_policy)
+        self.wnic = WirelessNic(wnic_spec)
+        self.vfs = VirtualFileSystem(memory_bytes)
+        self.layout = DiskLayout(seed)
+        self.scheduler = CScanScheduler()
+        # -- layer seams over the raw devices --------------------------
+        self.kernel = KernelPath(self.vfs, self.scheduler, self._locate)
+        self.cost_model = CostModel(self.disk, self.wnic, self.layout)
+        self._services: dict[DataSource, DeviceService] = {
+            DataSource.DISK: DiskService(self.disk, self.layout),
+            DataSource.NETWORK: WnicService(self.wnic),
+        }
+
+    def _locate(self, extent: Extent) -> int:
+        """Disk start block of an extent (the kernel path's elevator
+        and the disk service both key off the same layout)."""
+        return self.layout.block_of(extent.inode,
+                                    extent.start * BLOCK_SIZE)
+
+    def service_for(self, source: DataSource) -> DeviceService:
+        """The device service a request routed to ``source`` runs on."""
+        return self._services[source]
+
+    def register_trace(self, trace: Trace) -> None:
+        """Make a trace's files known to the VFS and the disk layout."""
+        for info in sorted(trace.files.values(), key=lambda f: f.inode):
+            self.vfs.register_file(info.inode, info.size_bytes)
+            self.layout.add_file(info.inode, max(info.size_bytes, 1))
+
+    @property
+    def disk_active(self) -> bool:
+        """Disk spinning (idle or active)?"""
+        return self.disk.state != DiskState.STANDBY.value
+
+    def advance(self, now: Seconds) -> None:
+        """Advance both devices (DPM timers fire as needed)."""
+        self.disk.advance_to(now)
+        self.wnic.advance_to(now)

@@ -1,0 +1,67 @@
+"""Workload layer: closed-loop program drivers replaying traces.
+
+"We built a simulator that is driven by real-life applications'
+execution traces."  Each :class:`ProgramDriver` replays one recorded
+program **closed-loop**: request *i+1* issues one recorded think time
+after request *i* completes, so slow devices stretch the run (and the
+performance-loss rule has teeth).  The driver owns only the replay
+cursor — what happens to each syscall (kernel path, routing, devices)
+is the session's wiring of the layers below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.traces.record import SyscallRecord
+from repro.traces.trace import Trace
+
+
+@dataclass(frozen=True, slots=True)
+class ProgramSpec:
+    """One program participating in a replay.
+
+    ``profiled`` — FlexFetch has (or builds) a profile for it;
+    ``disk_pinned`` — its data exists only on the local disk (no remote
+    replica), so every request must go to the disk.
+    """
+
+    trace: Trace
+    profiled: bool = True
+    disk_pinned: bool = False
+
+
+class ProgramDriver:
+    """Replay cursor of one program."""
+
+    def __init__(self, spec: ProgramSpec) -> None:
+        self.spec = spec
+        self.records: list[SyscallRecord] = spec.trace.data_records()
+        # Closed-loop think times: gap between call i's return and call
+        # i+1's entry in the recording.
+        self.thinks: list[float] = [
+            max(0.0, nxt.timestamp - cur.end_time)
+            for cur, nxt in zip(self.records, self.records[1:],
+                                strict=False)
+        ]
+        self.index = 0
+        self.last_completion = 0.0
+        self.done = not self.records
+
+    @property
+    def name(self) -> str:
+        return self.spec.trace.name
+
+    @property
+    def current(self) -> SyscallRecord:
+        """The record the replay cursor points at."""
+        return self.records[self.index]
+
+    def advance(self) -> float | None:
+        """Move past the current record; returns the recorded think
+        time before the next one, or None when the program is done."""
+        self.index += 1
+        if self.index >= len(self.records):
+            self.done = True
+            return None
+        return self.thinks[self.index - 1]

@@ -1,0 +1,69 @@
+"""Device service layer: a uniform front door to the storage devices.
+
+The routing layer above speaks one verb — *transfer this many bytes of
+this file now* — and each :class:`DeviceService` translates it into its
+device's vocabulary: the disk service maps the file offset to a disk
+block through the :class:`~repro.devices.layout.DiskLayout` (so seek
+distance is real), the WNIC service picks the radio direction.  The
+devices themselves own all spin-up/PSM accounting and the injected
+fault paths; the services add no arithmetic of their own.
+
+Keeping the protocol at the byte/offset level (no kernel types) is what
+lets this module sit at the bottom of the layer order: ``devices`` never
+imports ``kernel`` or ``core``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.devices.disk import DiskServiceResult, HardDisk
+from repro.devices.layout import DiskLayout
+from repro.devices.wnic import Direction, WirelessNic, WnicServiceResult
+from repro.units import Bytes, Seconds
+
+#: what a device hands back for one serviced request.
+ServiceOutcome = DiskServiceResult | WnicServiceResult
+
+
+class DeviceService(Protocol):
+    """One storage backend the router can move an extent on."""
+
+    def transfer(self, when: Seconds, nbytes: Bytes, *, inode: int,
+                 offset: int, npages: int,
+                 direction: Direction) -> ServiceOutcome:
+        """Move ``nbytes`` of ``inode`` starting at byte ``offset``.
+
+        ``npages`` is the extent's page count (the disk's block count);
+        ``direction`` is the radio direction for network backends (disk
+        backends ignore it).  Returns the device's service record, whose
+        ``completion``/``energy``/``failed`` fields the router consumes.
+        """
+        ...
+
+
+class DiskService:
+    """The local hard disk behind the :class:`DeviceService` protocol."""
+
+    def __init__(self, disk: HardDisk, layout: DiskLayout) -> None:
+        self.disk = disk
+        self.layout = layout
+
+    def transfer(self, when: Seconds, nbytes: Bytes, *, inode: int,
+                 offset: int, npages: int,
+                 direction: Direction) -> DiskServiceResult:
+        block = self.layout.block_of(inode, offset)
+        return self.disk.service(when, nbytes, block=block,
+                                 block_count=npages)
+
+
+class WnicService:
+    """The wireless NIC behind the :class:`DeviceService` protocol."""
+
+    def __init__(self, wnic: WirelessNic) -> None:
+        self.wnic = wnic
+
+    def transfer(self, when: Seconds, nbytes: Bytes, *, inode: int,
+                 offset: int, npages: int,
+                 direction: Direction) -> WnicServiceResult:
+        return self.wnic.service(when, nbytes, direction=direction)

@@ -29,7 +29,9 @@ from repro.core.bluefs import BlueFSPolicy
 from repro.core.flexfetch import FlexFetchConfig, FlexFetchPolicy
 from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
 from repro.core.profile import ExecutionProfile, profile_from_trace
-from repro.core.simulator import ProgramSpec, ReplaySimulator, RunResult
+from repro.core.session import SimulationSession
+from repro.core.telemetry import RunResult
+from repro.core.workload import ProgramSpec
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import PolicyFactory, SweepPoint, run_sweep
 from repro.faults.schedule import FaultSchedule, FaultSpec
@@ -259,12 +261,13 @@ def fault_panel(config: ExperimentConfig | None = None, *,
             # for every policy at this rate.
             faults = FaultSchedule(spec, seed=config.seed) \
                 if spec.enabled else None
-            sim = ReplaySimulator(
-                list(built.programs), factory(),
-                disk_spec=config.disk_spec, wnic_spec=config.wnic_spec,
-                memory_bytes=config.memory_bytes, seed=config.seed,
-                faults=faults, strict=strict)
-            result = sim.run()
+            result = (SimulationSession(list(built.programs), factory(),
+                                        disk_spec=config.disk_spec,
+                                        wnic_spec=config.wnic_spec,
+                                        memory_bytes=config.memory_bytes,
+                                        seed=config.seed)
+                      .with_faults(faults, strict=strict)
+                      .run())
             panel.curves[name].append(FaultSweepPoint(
                 policy=result.policy, outage_rate=rate, result=result))
             if progress is not None:

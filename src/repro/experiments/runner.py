@@ -12,10 +12,12 @@ from dataclasses import dataclass
 from collections.abc import Callable, Sequence
 
 from repro.core.policies import Policy
-from repro.core.simulator import ProgramSpec, ReplaySimulator, RunResult
+from repro.core.session import SimulationSession
+from repro.core.telemetry import RunResult
+from repro.core.workload import ProgramSpec
 from repro.devices.specs import WnicSpec
 from repro.experiments.config import ExperimentConfig
-from repro.units import BytesPerSecond, Joules
+from repro.units import BytesPerSecond, Joules, Seconds
 
 #: Builds a fresh policy instance for one run.
 PolicyFactory = Callable[[], Policy]
@@ -26,7 +28,7 @@ class SweepPoint:
     """One cell of a sweep: the link setting plus its run result."""
 
     policy: str
-    latency: float
+    latency: Seconds
     bandwidth_bps: BytesPerSecond
     result: RunResult
 
@@ -35,7 +37,7 @@ class SweepPoint:
         return self.result.total_energy
 
     @property
-    def time(self) -> float:
+    def time(self) -> Seconds:
         return self.result.end_time
 
 
@@ -45,13 +47,14 @@ def run_point(programs_factory: Callable[[], list[ProgramSpec]],
               config: ExperimentConfig) -> SweepPoint:
     """Run one policy on one workload at one link setting."""
     policy = policy_factory()
-    sim = ReplaySimulator(
-        programs_factory(), policy,
-        disk_spec=config.disk_spec,
-        wnic_spec=wnic_spec,
-        memory_bytes=config.memory_bytes,
-        seed=config.seed)
-    result = sim.run()
+    result = (SimulationSession()
+              .with_programs(*programs_factory())
+              .with_policy(policy)
+              .with_devices(disk_spec=config.disk_spec,
+                            wnic_spec=wnic_spec)
+              .with_memory(config.memory_bytes)
+              .with_seed(config.seed)
+              .run())
     return SweepPoint(policy=policy.name,
                       latency=wnic_spec.latency,
                       bandwidth_bps=wnic_spec.bandwidth_bps,

@@ -18,7 +18,8 @@ from repro.core.bluefs import BlueFSPolicy
 from repro.core.flexfetch import FlexFetchPolicy
 from repro.core.policies import DiskOnlyPolicy, Policy, WnicOnlyPolicy
 from repro.core.profile import profile_from_trace
-from repro.core.simulator import ProgramSpec, ReplaySimulator
+from repro.core.session import SimulationSession
+from repro.core.workload import ProgramSpec
 from repro.experiments.config import ExperimentConfig
 from repro.traces.trace import Trace
 
@@ -99,7 +100,7 @@ def analyze_scenario(
         profile = profile_from_trace(trace)
         row: dict[str, float] = {}
         for policy in fresh_policies(profile):
-            result = ReplaySimulator(
+            result = SimulationSession(
                 [ProgramSpec(trace)], policy,
                 disk_spec=config.disk_spec, wnic_spec=config.wnic_spec,
                 memory_bytes=config.memory_bytes, seed=seed).run()

@@ -24,7 +24,8 @@ from typing import TYPE_CHECKING, Any
 from repro.units import Bytes, Seconds
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from repro.core.simulator import MobileSystem, RunResult
+    from repro.core.system import MobileSystem
+    from repro.core.telemetry import RunResult
 
 #: Tolerance for float accumulation error in energy/time comparisons.
 _EPS = 1e-6

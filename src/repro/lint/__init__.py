@@ -1,6 +1,6 @@
 """``repro.lint`` — the repo's own determinism/units static analyzer.
 
-An AST-based checker with four repo-specific rules that generic linters
+An AST-based checker with five repo-specific rules that generic linters
 cannot express (see DESIGN.md §10 for the catalogue and rationale):
 
 * **R1 determinism** — no wall clocks or unseeded randomness inside the
@@ -11,7 +11,9 @@ cannot express (see DESIGN.md §10 for the catalogue and rationale):
 * **R3 float-equality** — no ``==``/``!=`` on measured float
   quantities;
 * **R4 defensive-defaults** — no mutable default arguments or bare
-  ``except``.
+  ``except``;
+* **R5 layering** — no upward imports across the
+  devices → kernel → core → experiments/cli stack (DESIGN.md §12).
 
 Run as ``python -m repro.lint src/ tests/`` or ``flexfetch lint``;
 suppress a finding with ``# repro-lint: ignore[R1]`` on its line.

@@ -64,6 +64,18 @@ RULES: dict[str, Rule] = {
                       " swallows the invariant errors PR 1 added.",
         ),
         Rule(
+            id="R5",
+            name="layering",
+            summary="no upward imports across the"
+                    " devices → kernel → core → experiments/cli stack",
+            rationale="the layered split (DESIGN.md §12) only holds if"
+                      " dependencies point one way; a device model"
+                      " importing policy code (or the kernel importing"
+                      " the simulator core) silently re-fuses the"
+                      " monolith.  Inject upward dependencies as"
+                      " callables/protocols instead.",
+        ),
+        Rule(
             id="E1",
             name="parse-error",
             summary="file could not be parsed as Python",

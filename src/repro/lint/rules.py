@@ -13,6 +13,8 @@ Scope per rule (see DESIGN.md §10):
   ``repro`` package.  Tests may compare replays for *exact* equality on
   purpose (bit-reproducibility assertions), so they are exempt.
 * **R4** (defensive defaults) — every linted file.
+* **R5** (layering) — files inside the ranked layers of the ``repro``
+  package (see :mod:`repro.lint.layering`).
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ import ast
 from dataclasses import dataclass, field
 
 from repro.lint.findings import Finding
+from repro.lint.layering import LayeringRule, layer_of
 from repro.lint.unitinfer import (
     DIMENSION_ALIASES,
     FLOAT_DIMENSIONS,
@@ -393,6 +396,7 @@ class _RulePlan:
     r2: bool = True
     r3: bool = True
     r4: bool = True
+    r5: bool = True
     findings: list[Finding] = field(default_factory=list)
 
 
@@ -405,9 +409,11 @@ def run_rules(tree: ast.AST, ctx: FileContext,
         r2=in_pkg,
         r3=in_pkg,
         r4=True,
+        r5=in_pkg and layer_of(ctx.package_rel) is not None,
     )
     visitors: list[DeterminismRule | UnitDisciplineRule
-                   | FloatEqualityRule | DefensiveDefaultsRule] = []
+                   | FloatEqualityRule | DefensiveDefaultsRule
+                   | LayeringRule] = []
     if plan.r1 and (select is None or "R1" in select):
         imports = ImportTable()
         imports.collect(tree)
@@ -418,6 +424,8 @@ def run_rules(tree: ast.AST, ctx: FileContext,
         visitors.append(FloatEqualityRule(ctx))
     if plan.r4 and (select is None or "R4" in select):
         visitors.append(DefensiveDefaultsRule(ctx))
+    if plan.r5 and (select is None or "R5" in select):
+        visitors.append(LayeringRule(ctx))
     findings: list[Finding] = []
     for visitor in visitors:
         visitor.visit(tree)

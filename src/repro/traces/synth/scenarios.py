@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.profile import ExecutionProfile, profile_from_trace
-from repro.core.simulator import ProgramSpec
+from repro.core.workload import ProgramSpec
 from repro.traces.synth.acroread import (
     generate_acroread_profile_run,
     generate_acroread_search_run,

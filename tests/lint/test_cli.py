@@ -54,7 +54,7 @@ def test_list_rules_prints_the_catalogue(
         capsys: pytest.CaptureFixture[str]) -> None:
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("R1", "R2", "R3", "R4"):
+    for rule_id in ("R1", "R2", "R3", "R4", "R5"):
         assert rule_id in out
     assert RULES["R2"].name in out
 

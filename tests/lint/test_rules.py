@@ -28,14 +28,14 @@ def lint_fixture(name: str,
     return lint_source(source, path=name, package_rel=package_rel)
 
 
-@pytest.mark.parametrize("rule", ["R1", "R2", "R3", "R4"])
+@pytest.mark.parametrize("rule", ["R1", "R2", "R3", "R4", "R5"])
 def test_bad_fixture_triggers_only_its_rule(rule: str) -> None:
     findings = lint_fixture(f"{rule.lower()}_bad.pysnippet")
     assert findings, f"{rule} fixture produced no findings"
     assert {f.rule for f in findings} == {rule}
 
 
-@pytest.mark.parametrize("rule", ["R1", "R2", "R3", "R4"])
+@pytest.mark.parametrize("rule", ["R1", "R2", "R3", "R4", "R5"])
 def test_good_fixture_is_clean(rule: str) -> None:
     assert lint_fixture(f"{rule.lower()}_good.pysnippet") == []
 
@@ -160,3 +160,57 @@ def test_finding_render_is_editor_clickable() -> None:
                            path="mod.py")
     assert findings and findings[0].render().startswith("mod.py:2:")
     assert "R4(defensive-defaults)" in findings[0].render()
+
+
+# ----------------------------------------------------------------------
+# R5 layering specifics
+# ----------------------------------------------------------------------
+def test_r5_counts_every_upward_import() -> None:
+    findings = lint_fixture("r5_bad.pysnippet")
+    assert len(findings) == 3
+    messages = " ".join(f.message for f in findings)
+    assert "repro.cli" in messages
+    assert "repro.experiments" in messages
+    assert "repro.experiments.runner" in messages
+
+
+def test_r5_devices_may_not_import_kernel_or_core() -> None:
+    source = ("from repro.kernel.vfs import VirtualFileSystem\n"
+              "from repro.core.session import SimulationSession\n")
+    findings = lint_source(source, path="disk.py",
+                           package_rel=("repro", "devices", "disk.py"))
+    assert [f.rule for f in findings] == ["R5", "R5"]
+
+
+def test_r5_resolves_relative_imports() -> None:
+    source = "from ..core import session\n"
+    findings = lint_source(source, path="disk.py",
+                           package_rel=("repro", "devices", "disk.py"))
+    assert [f.rule for f in findings] == ["R5"]
+    assert "repro.core" in findings[0].message
+
+
+def test_r5_same_rank_and_downward_are_allowed() -> None:
+    # experiments(4) and cli(4) share a rank; cli importing core is
+    # downward.  Neither direction is a finding.
+    assert lint_source("from repro.cli import main\n", path="figures.py",
+                       package_rel=("repro", "experiments",
+                                    "figures.py")) == []
+    assert lint_source("from repro.core.session import"
+                       " SimulationSession\n", path="cli.py",
+                       package_rel=("repro", "cli.py")) == []
+
+
+def test_r5_unranked_packages_are_exempt() -> None:
+    # traces sits outside the stack on purpose (it builds core
+    # profiles); importing core from it is not upward.
+    source = "from repro.core.profile import profile_from_trace\n"
+    assert lint_source(source, path="scenarios.py",
+                       package_rel=("repro", "traces", "synth",
+                                    "scenarios.py")) == []
+
+
+def test_r5_pragma_suppresses() -> None:
+    source = ("from repro.experiments.runner import run_point"
+              "  # repro-lint: ignore[R5]\n")
+    assert lint_source(source, path="x.py", package_rel=IN_PACKAGE) == []
