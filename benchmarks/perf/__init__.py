@@ -1,0 +1,1 @@
+"""Wall-clock benchmarks of the sweep execution modes."""

@@ -1,0 +1,128 @@
+"""Wall-clock comparison of the three sweep execution modes.
+
+Runs the Figure-3 reduced grid (the same cells ``test_fig3.py`` pins to
+golden energies) three ways — serial, parallel workers, warm run cache —
+asserts all three produce bit-identical curves that match the pinned
+golden energies, and writes the timings to ``BENCH_sweep.json`` at the
+repo root (uploaded as a CI artifact by the perf-smoke job).
+
+Worker count comes from ``BENCH_WORKERS`` (default 4).  The recorded
+``cpu_count`` qualifies the parallel speedup: on a single-core runner
+the parallel mode cannot beat serial and the number documents why.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import RESULTS_DIR
+from repro.core.bluefs import BlueFSPolicy
+from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
+from repro.core.profile import profile_from_trace
+from repro.core.workload import ProgramSpec
+from repro.experiments.cache import RunCache
+from repro.experiments.figures import FlexFetchFactory
+from repro.experiments.parallel import ParallelSweepExecutor
+from repro.experiments.runner import ProgramSet
+from repro.traces.synth import generate_thunderbird
+from repro.units import approx_eq
+
+BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_sweep.json"
+GOLDEN_PATH = RESULTS_DIR / "golden.json"
+
+
+@pytest.fixture(scope="module")
+def sweep_inputs(bench_config):
+    trace = generate_thunderbird(bench_config.seed)
+    profile = profile_from_trace(trace)
+    policies = {
+        "Disk-only": DiskOnlyPolicy,
+        "WNIC-only": WnicOnlyPolicy,
+        "BlueFS": BlueFSPolicy,
+        "FlexFetch": FlexFetchFactory(
+            profile=profile,
+            loss_rate=bench_config.loss_rate,
+            stage_length=bench_config.stage_length),
+    }
+    panels = {"by_latency": bench_config.latency_points(),
+              "by_bandwidth": bench_config.bandwidth_points()}
+    return ProgramSet((ProgramSpec(trace),)), policies, panels
+
+
+def _timed_sweep(executor, programs, policies, panels, config):
+    t0 = time.perf_counter()
+    curves = {panel: executor.run_sweep(programs, policies, specs, config)
+              for panel, specs in panels.items()}
+    return curves, time.perf_counter() - t0
+
+
+def _assert_identical(reference, other, label):
+    for panel, curves in reference.items():
+        for name, points in curves.items():
+            for i, (a, b) in enumerate(
+                    zip(points, other[panel][name], strict=True)):
+                assert a.result == b.result, \
+                    f"{label}: {panel}/{name}[{i}] diverged"
+
+
+def _assert_matches_golden(curves, bench_config):
+    grid = json.loads(GOLDEN_PATH.read_text())["fig3_grid"]
+    assert grid["latencies"] == list(bench_config.latency_sweep)
+    assert grid["bandwidths_bps"] == list(bench_config.bandwidth_sweep_bps)
+    for panel in ("by_latency", "by_bandwidth"):
+        for name, want in grid[panel].items():
+            got = [p.energy for p in curves[panel][name]]
+            for i, (g, w) in enumerate(zip(got, want, strict=True)):
+                assert approx_eq(g, w), \
+                    f"{panel}/{name}[{i}]: {g} != pinned {w}"
+
+
+def test_sweep_modes(sweep_inputs, bench_config, tmp_path_factory):
+    programs, policies, panels = sweep_inputs
+    cells = sum(len(specs) for specs in panels.values()) * len(policies)
+    workers = int(os.environ.get("BENCH_WORKERS", "4"))
+    cache_dir = tmp_path_factory.mktemp("run-cache")
+
+    serial_curves, serial_s = _timed_sweep(
+        ParallelSweepExecutor(1), programs, policies, panels,
+        bench_config)
+    _assert_matches_golden(serial_curves, bench_config)
+
+    # Parallel run doubles as the cache-populating cold run.
+    cold = ParallelSweepExecutor(workers, cache=RunCache(cache_dir))
+    parallel_curves, parallel_s = _timed_sweep(
+        cold, programs, policies, panels, bench_config)
+    _assert_identical(serial_curves, parallel_curves, "parallel")
+    assert cold.live_runs == cells and cold.cache_hits == 0
+
+    warm = ParallelSweepExecutor(workers, cache=RunCache(cache_dir))
+    warm_curves, warm_s = _timed_sweep(
+        warm, programs, policies, panels, bench_config)
+    _assert_identical(serial_curves, warm_curves, "warm cache")
+    assert warm.live_runs == 0, "warm rerun must run zero simulations"
+    assert warm.cache_hits == cells
+    assert warm_s < serial_s
+
+    report = {
+        "grid": {"figure": "fig3", "cells": cells,
+                 "policies": sorted(policies),
+                 "latency_points": len(panels["by_latency"]),
+                 "bandwidth_points": len(panels["by_bandwidth"])},
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_s, 3),
+        "parallel_seconds": round(parallel_s, 3),
+        "warm_cache_seconds": round(warm_s, 3),
+        "speedup_parallel_vs_serial": round(serial_s / parallel_s, 2),
+        "speedup_warm_cache_vs_serial": round(serial_s / warm_s, 2),
+        "parallel_live_runs": cold.live_runs,
+        "warm_live_runs": warm.live_runs,
+        "warm_cache_hits": warm.cache_hits,
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n",
+                          encoding="utf-8")
+    print(f"\nwrote {BENCH_PATH}:")
+    print(json.dumps(report, indent=2))

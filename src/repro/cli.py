@@ -60,7 +60,12 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     config = ExperimentConfig(seed=args.seed)
     progress = (lambda line: print(f"  {line}", file=sys.stderr)) \
         if args.verbose else None
-    result = builder(config, panels=args.panel, progress=progress)
+    cache = None
+    if not args.no_cache:
+        from repro.experiments.cache import RunCache
+        cache = RunCache(args.cache_dir)
+    result = builder(config, panels=args.panel, progress=progress,
+                     workers=args.workers, cache=cache)
     print(render_figure(result))
     if args.svg:
         from repro.experiments.svg import save_figure_svg
@@ -215,6 +220,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("tables", help="render Tables 1-3")
 
+    def add_sweep_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes for sweep cells"
+                       " (default 1 = in-process)")
+        p.add_argument("--no-cache", action="store_true",
+                       help="always simulate; skip the run cache")
+        p.add_argument("--cache-dir", default="benchmarks/results/cache",
+                       metavar="DIR",
+                       help="run-cache directory"
+                       " (default benchmarks/results/cache)")
+
     p_fig = sub.add_parser("figure", help="run one figure")
     p_fig.add_argument("figure", choices=sorted(FIGURES))
     p_fig.add_argument("--panel", default="ab", choices=["a", "b", "ab"],
@@ -225,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-point progress on stderr")
     p_fig.add_argument("--svg", metavar="DIR",
                        help="also write SVG charts into DIR")
+    add_sweep_flags(p_fig)
 
     p_all = sub.add_parser("all", help="run every table and figure")
     p_all.add_argument("--panel", default="ab", choices=["a", "b", "ab"])
@@ -232,6 +249,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--verbose", action="store_true")
     p_all.add_argument("--svg", metavar="DIR",
                        help="also write SVG charts into DIR")
+    add_sweep_flags(p_all)
 
     from repro.traces.synth.scenarios import SCENARIOS
     p_run = sub.add_parser("run",

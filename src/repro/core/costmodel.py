@@ -75,12 +75,17 @@ def filter_cached(bursts: Sequence[IOBurst],
     Reads only — writes always dirty pages regardless of residency.
     """
     filtered: list[list[ProfiledRequest]] = []
+    resident_bytes = vfs.resident_bytes
     for burst in bursts:
         keep: list[ProfiledRequest] = []
         for req in burst.requests:
             if req.op is OpType.READ:
-                resident = vfs.resident_bytes(req.inode, req.offset,
-                                              req.size)
+                resident = resident_bytes(req.inode, req.offset, req.size)
+                if resident <= 0:
+                    # Nothing cached: the request passes through
+                    # unchanged, so skip rebuilding an identical record.
+                    keep.append(req)
+                    continue
                 remaining = req.size - resident
                 if remaining <= 0:
                     continue
@@ -134,11 +139,12 @@ def replay_stage(source: DataSource,
     t = now
     total_bytes = 0
     total_requests = 0
+    is_disk = isinstance(clone, HardDisk)
     for i, requests in enumerate(request_lists):
         for req in requests:
             total_bytes += req.size
             total_requests += 1
-            if isinstance(clone, HardDisk):
+            if is_disk:
                 block = None
                 nblocks = None
                 if layout is not None and req.inode in layout:
@@ -191,6 +197,18 @@ class CostModel:
         self.disk = disk
         self.wnic = wnic
         self.layout = layout
+        # Per-device constants, computed once instead of per request.
+        # Specs are frozen dataclasses, so these can never go stale; the
+        # expressions mirror the spec properties exactly so every float
+        # is bit-identical to the recomputed form.
+        spec = disk.spec
+        self._disk_access_time: Seconds = (spec.avg_seek_time
+                                           + spec.avg_rotation_time)
+        self._disk_bandwidth_bps = spec.bandwidth_bps
+        self._disk_active_above_idle: float = (spec.active_power
+                                               - spec.idle_power)
+        self._disk_transition_investment: Joules = (spec.spinup_energy
+                                                    + spec.spindown_energy)
 
     # -- stage-granular estimates --------------------------------------
     def stage_estimate(self, source: DataSource,
@@ -266,17 +284,17 @@ class CostModel:
     def disk_transition_investment(self) -> Joules:
         """Energy of one spin-up + spin-down round trip — the
         break-even investment ghost hints must cover (§1.2)."""
-        return (self.disk.spec.spinup_energy
-                + self.disk.spec.spindown_energy)
+        return self._disk_transition_investment
 
     def spinning_disk_marginal_energy(
             self, sizes: Iterable[Bytes]) -> Joules:
         """Marginal joules of servicing requests on an already-spinning
         disk: service time priced at active-above-idle watts (§2.3.3,
         "almost free" when something else keeps the disk up)."""
-        spec = self.disk.spec
+        access_time = self._disk_access_time
+        bandwidth = self._disk_bandwidth_bps
+        active_above_idle = self._disk_active_above_idle
         marginal = 0.0
         for size in sizes:
-            svc = spec.access_time + size / spec.bandwidth_bps
-            marginal += svc * (spec.active_power - spec.idle_power)
+            marginal += (access_time + size / bandwidth) * active_above_idle
         return marginal

@@ -32,8 +32,14 @@ from repro.core.profile import ExecutionProfile, profile_from_trace
 from repro.core.session import SimulationSession
 from repro.core.telemetry import RunResult
 from repro.core.workload import ProgramSpec
+from repro.experiments.cache import RunCache
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import PolicyFactory, SweepPoint, run_sweep
+from repro.experiments.runner import (
+    PolicyFactory,
+    ProgramSet,
+    SweepPoint,
+    run_sweep,
+)
 from repro.faults.schedule import FaultSchedule, FaultSpec
 from repro.traces.synth import (
     generate_acroread_profile_run,
@@ -65,15 +71,42 @@ class FigureResult:
         return [p.energy for p in curves[policy]]
 
 
+@dataclass(frozen=True, slots=True)
+class FlexFetchFactory:
+    """Picklable, cache-keyable FlexFetch policy factory.
+
+    Historically a closure; made a value object so sweep cells can be
+    shipped to worker processes and described for run-cache keys.  The
+    fields are exactly the inputs the built policy's behaviour depends
+    on, which is what :meth:`cache_token` promises.
+    """
+
+    profile: ExecutionProfile
+    loss_rate: float
+    stage_length: float
+    adaptive: bool = True
+
+    def __call__(self) -> FlexFetchPolicy:
+        return FlexFetchPolicy(self.profile, FlexFetchConfig(
+            loss_rate=self.loss_rate,
+            stage_length=self.stage_length,
+            adaptive=self.adaptive))
+
+    def cache_token(self) -> dict[str, object]:
+        return {"factory": type(self).__qualname__,
+                "profile": self.profile,
+                "loss_rate": self.loss_rate,
+                "stage_length": self.stage_length,
+                "adaptive": self.adaptive}
+
+
 def _flexfetch_factory(profile: ExecutionProfile,
                        config: ExperimentConfig, *,
                        adaptive: bool = True) -> PolicyFactory:
-    def make() -> FlexFetchPolicy:
-        return FlexFetchPolicy(profile, FlexFetchConfig(
-            loss_rate=config.loss_rate,
-            stage_length=config.stage_length,
-            adaptive=adaptive))
-    return make
+    return FlexFetchFactory(profile=profile,
+                            loss_rate=config.loss_rate,
+                            stage_length=config.stage_length,
+                            adaptive=adaptive)
 
 
 def _standard_policies(profile: ExecutionProfile,
@@ -98,18 +131,19 @@ def _run_figure(figure_id: str, title: str,
                 policies: dict[str, PolicyFactory],
                 config: ExperimentConfig,
                 *, panels: str = "ab",
-                progress: Callable[[str], None] | None = None
-                ) -> FigureResult:
+                progress: Callable[[str], None] | None = None,
+                workers: int = 1,
+                cache: RunCache | None = None) -> FigureResult:
     result = FigureResult(figure_id=figure_id, title=title,
                           workload=workload_name)
     if "a" in panels:
         result.by_latency = run_sweep(
             programs_factory, policies, config.latency_points(), config,
-            progress=progress)
+            progress=progress, workers=workers, cache=cache)
     if "b" in panels:
         result.by_bandwidth = run_sweep(
             programs_factory, policies, config.bandwidth_points(), config,
-            progress=progress)
+            progress=progress, workers=workers, cache=cache)
     return result
 
 
@@ -117,55 +151,59 @@ def _run_figure(figure_id: str, title: str,
 # Figure 1 — programming scenario: grep + make
 # ----------------------------------------------------------------------
 def figure1(config: ExperimentConfig | None = None, *, panels: str = "ab",
-            progress: Callable[[str], None] | None = None) -> FigureResult:
+            progress: Callable[[str], None] | None = None,
+            workers: int = 1, cache: RunCache | None = None) -> FigureResult:
     """grep+make energy vs WNIC latency (a) and bandwidth (b)."""
     config = config or ExperimentConfig()
     trace = generate_grep_make(config.seed)
     profile = profile_from_trace(trace)
     return _run_figure(
         "fig1", "grep+make: energy vs WNIC latency/bandwidth",
-        lambda: [ProgramSpec(trace)], trace.name,
+        ProgramSet((ProgramSpec(trace),)), trace.name,
         _standard_policies(profile, config), config,
-        panels=panels, progress=progress)
+        panels=panels, progress=progress, workers=workers, cache=cache)
 
 
 # ----------------------------------------------------------------------
 # Figure 2 — media streaming: mplayer
 # ----------------------------------------------------------------------
 def figure2(config: ExperimentConfig | None = None, *, panels: str = "ab",
-            progress: Callable[[str], None] | None = None) -> FigureResult:
+            progress: Callable[[str], None] | None = None,
+            workers: int = 1, cache: RunCache | None = None) -> FigureResult:
     """mplayer energy vs WNIC latency (a) and bandwidth (b)."""
     config = config or ExperimentConfig()
     trace = generate_mplayer(config.seed)
     profile = profile_from_trace(trace)
     return _run_figure(
         "fig2", "mplayer: energy vs WNIC latency/bandwidth",
-        lambda: [ProgramSpec(trace)], trace.name,
+        ProgramSet((ProgramSpec(trace),)), trace.name,
         _standard_policies(profile, config), config,
-        panels=panels, progress=progress)
+        panels=panels, progress=progress, workers=workers, cache=cache)
 
 
 # ----------------------------------------------------------------------
 # Figure 3 — email: thunderbird
 # ----------------------------------------------------------------------
 def figure3(config: ExperimentConfig | None = None, *, panels: str = "ab",
-            progress: Callable[[str], None] | None = None) -> FigureResult:
+            progress: Callable[[str], None] | None = None,
+            workers: int = 1, cache: RunCache | None = None) -> FigureResult:
     """Thunderbird energy vs WNIC latency (a) and bandwidth (b)."""
     config = config or ExperimentConfig()
     trace = generate_thunderbird(config.seed)
     profile = profile_from_trace(trace)
     return _run_figure(
         "fig3", "Thunderbird: energy vs WNIC latency/bandwidth",
-        lambda: [ProgramSpec(trace)], trace.name,
+        ProgramSet((ProgramSpec(trace),)), trace.name,
         _standard_policies(profile, config), config,
-        panels=panels, progress=progress)
+        panels=panels, progress=progress, workers=workers, cache=cache)
 
 
 # ----------------------------------------------------------------------
 # Figure 4 — forced spin-up: grep+make with xmms in the background
 # ----------------------------------------------------------------------
 def figure4(config: ExperimentConfig | None = None, *, panels: str = "ab",
-            progress: Callable[[str], None] | None = None) -> FigureResult:
+            progress: Callable[[str], None] | None = None,
+            workers: int = 1, cache: RunCache | None = None) -> FigureResult:
     """grep+make ∥ xmms, including the FlexFetch-static ablation.
 
     xmms is a *non-profiled* program whose mp3 files exist only on the
@@ -177,27 +215,28 @@ def figure4(config: ExperimentConfig | None = None, *, panels: str = "ab",
     profile = profile_from_trace(fg)
     return _run_figure(
         "fig4", "grep+make / xmms: energy with a forced-spun-up disk",
-        lambda: [ProgramSpec(fg),
-                 ProgramSpec(bg, profiled=False, disk_pinned=True)],
+        ProgramSet((ProgramSpec(fg),
+                    ProgramSpec(bg, profiled=False, disk_pinned=True))),
         f"{fg.name} | {bg.name}",
         _standard_policies(profile, config, include_static=True), config,
-        panels=panels, progress=progress)
+        panels=panels, progress=progress, workers=workers, cache=cache)
 
 
 # ----------------------------------------------------------------------
 # Figure 5 — invalid profile: acroread
 # ----------------------------------------------------------------------
 def figure5(config: ExperimentConfig | None = None, *, panels: str = "ab",
-            progress: Callable[[str], None] | None = None) -> FigureResult:
+            progress: Callable[[str], None] | None = None,
+            workers: int = 1, cache: RunCache | None = None) -> FigureResult:
     """Acroread search run driven by the stale casual-reading profile."""
     config = config or ExperimentConfig()
     search = generate_acroread_search_run(config.seed)
     stale = profile_from_trace(generate_acroread_profile_run(config.seed))
     return _run_figure(
         "fig5", "Acroread: energy with an out-of-date profile",
-        lambda: [ProgramSpec(search)], search.name,
+        ProgramSet((ProgramSpec(search),)), search.name,
         _standard_policies(stale, config, include_static=True), config,
-        panels=panels, progress=progress)
+        panels=panels, progress=progress, workers=workers, cache=cache)
 
 
 # ----------------------------------------------------------------------

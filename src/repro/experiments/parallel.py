@@ -1,0 +1,238 @@
+"""Parallel sweep execution.
+
+A figure sweep is an embarrassingly parallel matrix: every (policy x
+link point) cell is one independent, deterministic simulation.  The
+:class:`ParallelSweepExecutor` fans those cells out over a
+``ProcessPoolExecutor`` and reassembles the curves in sweep order, so a
+parallel run is **bit-identical** to the serial one — completion order
+affects only the interleaving of progress lines, never the results.
+
+Determinism across process boundaries rests on two properties the rest
+of the codebase already guarantees:
+
+* every simulation input is an immutable value (specs, traces, frozen
+  configs) shipped to the worker by pickling — no shared mutable state;
+* event ordering inside a run is a pure function of that run's schedule
+  (per-loop tie-break slots in :class:`~repro.sim.engine.EventLoop`),
+  independent of whatever else ran in the worker process.
+
+The executor also consults an optional
+:class:`~repro.experiments.cache.RunCache` before submitting work:
+cached cells never reach the pool, and live results are persisted as
+they complete.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+from typing import Any
+
+from repro.core.workload import ProgramSpec
+from repro.devices.specs import WnicSpec
+from repro.experiments.cache import RunCache
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    PolicyFactory,
+    SweepPoint,
+    progress_line,
+    run_point,
+)
+
+
+class SweepCellError(RuntimeError):
+    """One sweep cell failed.
+
+    Raised after every other cell has been allowed to finish; the
+    worker's original exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, curve: str, wnic_spec: WnicSpec) -> None:
+        super().__init__(
+            f"sweep cell failed: policy={curve!r}"
+            f" lat={wnic_spec.latency * 1e3:.0f}ms"
+            f" bw={wnic_spec.bandwidth_bps / 1e6:.1f}MB/s")
+        self.curve = curve
+        self.wnic_spec = wnic_spec
+
+
+@dataclass(frozen=True, slots=True)
+class SweepJob:
+    """Everything one worker needs to run one sweep cell.
+
+    The job is a plain picklable value: the programs factory has
+    already been called in the parent, so workers receive the concrete
+    spec tuple rather than a (possibly unpicklable) closure.
+    """
+
+    index: int
+    curve: str
+    programs: tuple[ProgramSpec, ...]
+    policy_factory: PolicyFactory
+    wnic_spec: WnicSpec
+    config: ExperimentConfig
+
+
+def _execute_job(job: SweepJob) -> SweepPoint:
+    """Worker entry point: run one cell (module-level, hence picklable)."""
+    return run_point(lambda: list(job.programs), job.policy_factory,
+                     job.wnic_spec, job.config)
+
+
+class ParallelSweepExecutor:
+    """Run sweep matrices across worker processes, with optional caching.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` runs every cell in-process (no pool, no
+        pickling of jobs) — the zero-risk fallback path.
+    cache:
+        Optional :class:`RunCache`.  Hits skip the simulation entirely;
+        live results are stored back as they complete.
+
+    Counters ``live_runs`` and ``cache_hits`` accumulate across calls —
+    the perf harness uses them to prove a warm-cache sweep ran zero
+    simulations.
+    """
+
+    def __init__(self, workers: int = 1, *,
+                 cache: RunCache | None = None) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+        self.cache = cache
+        self.live_runs = 0
+        self.cache_hits = 0
+
+    # ------------------------------------------------------------------
+    def run_sweep(self,
+                  programs_factory: Callable[[], list[ProgramSpec]],
+                  policy_factories: dict[str, PolicyFactory],
+                  wnic_specs: Sequence[WnicSpec],
+                  config: ExperimentConfig,
+                  *, progress: Callable[[str], None] | None = None
+                  ) -> dict[str, list[SweepPoint]]:
+        """Run every policy across every link point.
+
+        Same contract as :func:`repro.experiments.runner.run_sweep`:
+        returns ``{policy name: [SweepPoint, ...]}`` with points in
+        sweep order regardless of completion order.  If any cell fails,
+        the remaining cells still run to completion, then the failure
+        with the lowest sweep index is raised as :class:`SweepCellError`
+        (with the worker's exception chained).
+        """
+        programs = tuple(programs_factory())
+        jobs: list[SweepJob] = []
+        for spec in wnic_specs:
+            for name, factory in policy_factories.items():
+                jobs.append(SweepJob(index=len(jobs), curve=name,
+                                     programs=programs,
+                                     policy_factory=factory,
+                                     wnic_spec=spec, config=config))
+
+        points: dict[int, SweepPoint] = {}
+        errors: dict[int, BaseException] = {}
+        pending = self._drain_cache(jobs, points, progress)
+        if pending:
+            if self.workers == 1:
+                self._run_serial(pending, points, errors, progress)
+            else:
+                self._run_pool(pending, points, errors, progress)
+
+        if errors:
+            first = min(errors)
+            failed = jobs[first]
+            raise SweepCellError(failed.curve,
+                                 failed.wnic_spec) from errors[first]
+
+        curves: dict[str, list[SweepPoint]] = {name: []
+                                               for name in policy_factories}
+        for job in jobs:
+            curves[job.curve].append(points[job.index])
+        return curves
+
+    # ------------------------------------------------------------------
+    def _drain_cache(self, jobs: list[SweepJob],
+                     points: dict[int, SweepPoint],
+                     progress: Callable[[str], None] | None
+                     ) -> list[SweepJob]:
+        """Fill cached cells; return the jobs that must run live."""
+        if self.cache is None:
+            return list(jobs)
+        pending: list[SweepJob] = []
+        for job in jobs:
+            key = self.cache.key_for(job.programs, job.policy_factory,
+                                     job.wnic_spec, job.config)
+            result = self.cache.get(key)
+            if result is None:
+                pending.append(job)
+                continue
+            point = SweepPoint(policy=result.policy,
+                               latency=job.wnic_spec.latency,
+                               bandwidth_bps=job.wnic_spec.bandwidth_bps,
+                               result=result)
+            points[job.index] = point
+            self.cache_hits += 1
+            if progress is not None:
+                progress(progress_line(point) + " [cached]")
+        return pending
+
+    def _record(self, job: SweepJob, point: SweepPoint,
+                points: dict[int, SweepPoint],
+                progress: Callable[[str], None] | None) -> None:
+        points[job.index] = point
+        self.live_runs += 1
+        if self.cache is not None:
+            key = self.cache.key_for(job.programs, job.policy_factory,
+                                     job.wnic_spec, job.config)
+            self.cache.put(key, point.result)
+        if progress is not None:
+            progress(progress_line(point))
+
+    def _run_serial(self, pending: list[SweepJob],
+                    points: dict[int, SweepPoint],
+                    errors: dict[int, BaseException],
+                    progress: Callable[[str], None] | None) -> None:
+        for job in pending:
+            try:
+                point = _execute_job(job)
+            except Exception as exc:  # noqa: BLE001 - mirrored pool path
+                errors[job.index] = exc
+                continue
+            self._record(job, point, points, progress)
+
+    def _run_pool(self, pending: list[SweepJob],
+                  points: dict[int, SweepPoint],
+                  errors: dict[int, BaseException],
+                  progress: Callable[[str], None] | None) -> None:
+        # fork keeps worker start-up cheap and inherits the imported
+        # simulator; job inputs still travel by pickle, which is what
+        # the picklability of specs/factories is tested against.
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=self.workers,
+                                 mp_context=context) as pool:
+            futures: dict[Future[SweepPoint], SweepJob] = {
+                pool.submit(_execute_job, job): job for job in pending}
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(remaining,
+                                       return_when=FIRST_COMPLETED)
+                for future in done:
+                    job = futures[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        errors[job.index] = exc
+                        continue
+                    # Progress and cache writes happen here, in the
+                    # parent, as cells complete — workers never touch
+                    # shared state.
+                    self._record(job, future.result(), points, progress)
+
+
+def sweep_grid_size(policy_factories: dict[str, Any],
+                    wnic_specs: Sequence[WnicSpec]) -> int:
+    """Number of cells in a sweep matrix (for progress/benchmark sizing)."""
+    return len(policy_factories) * len(wnic_specs)

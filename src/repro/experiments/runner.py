@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING
 
 from repro.core.policies import Policy
 from repro.core.session import SimulationSession
@@ -19,8 +20,27 @@ from repro.devices.specs import WnicSpec
 from repro.experiments.config import ExperimentConfig
 from repro.units import BytesPerSecond, Joules, Seconds
 
+if TYPE_CHECKING:
+    from repro.experiments.cache import RunCache
+
 #: Builds a fresh policy instance for one run.
 PolicyFactory = Callable[[], Policy]
+
+
+@dataclass(frozen=True, slots=True)
+class ProgramSet:
+    """A picklable programs factory: a fixed tuple of specs.
+
+    The figure builders historically passed lambdas as programs
+    factories; those cannot cross a process boundary.  ``ProgramSet``
+    is the value-object equivalent — calling it hands out a fresh list
+    of the same immutable specs.
+    """
+
+    specs: tuple[ProgramSpec, ...]
+
+    def __call__(self) -> list[ProgramSpec]:
+        return list(self.specs)
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,6 +59,21 @@ class SweepPoint:
     @property
     def time(self) -> Seconds:
         return self.result.end_time
+
+
+def progress_line(point: SweepPoint) -> str:
+    """One human-readable line per completed sweep cell.
+
+    ``bandwidth_bps`` holds *bytes* per second, so both unit renderings
+    are emitted: MB/s (bytes-based, what the simulator computes with)
+    and Mbps (bits-based, how the paper labels its 802.11b link points).
+    An earlier version printed only ``bw=...Mbps`` computed from the
+    byte rate, which read as if the field itself were bits per second.
+    """
+    bps = point.bandwidth_bps
+    return (f"{point.policy} @ lat={point.latency * 1e3:.0f}ms"
+            f" bw={bps / 1e6:.1f}MB/s ({bps * 8 / 1e6:.1f}Mbps)"
+            f" -> {point.energy:.1f} J")
 
 
 def run_point(programs_factory: Callable[[], list[ProgramSpec]],
@@ -65,13 +100,29 @@ def run_sweep(programs_factory: Callable[[], list[ProgramSpec]],
               policy_factories: dict[str, PolicyFactory],
               wnic_specs: Sequence[WnicSpec],
               config: ExperimentConfig,
-              *, progress: Callable[[str], None] | None = None
+              *, progress: Callable[[str], None] | None = None,
+              workers: int = 1,
+              cache: RunCache | None = None
               ) -> dict[str, list[SweepPoint]]:
     """Run every policy across every link point.
 
     Returns ``{policy name: [SweepPoint, ...]}`` with points in sweep
     order.  ``progress`` (if given) receives a line per completed point.
+
+    ``workers > 1`` fans the cells out across processes and ``cache``
+    reuses previously simulated cells; both delegate to
+    :class:`~repro.experiments.parallel.ParallelSweepExecutor` and are
+    bit-identical to the default serial path.  With parallel workers the
+    *results* stay in sweep order but progress lines arrive in
+    completion order.
     """
+    if workers != 1 or cache is not None:
+        # Local import: the runner must stay importable without pulling
+        # in multiprocessing machinery for plain serial sweeps.
+        from repro.experiments.parallel import ParallelSweepExecutor
+        executor = ParallelSweepExecutor(workers, cache=cache)
+        return executor.run_sweep(programs_factory, policy_factories,
+                                  wnic_specs, config, progress=progress)
     curves: dict[str, list[SweepPoint]] = {name: []
                                            for name in policy_factories}
     for spec in wnic_specs:
@@ -79,7 +130,5 @@ def run_sweep(programs_factory: Callable[[], list[ProgramSpec]],
             point = run_point(programs_factory, factory, spec, config)
             curves[name].append(point)
             if progress is not None:
-                progress(f"{name} @ lat={spec.latency * 1e3:.0f}ms"
-                         f" bw={spec.bandwidth_bps * 8 / 1e6:.1f}Mbps"
-                         f" -> {point.energy:.1f} J")
+                progress(progress_line(point))
     return curves

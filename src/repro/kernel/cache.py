@@ -83,20 +83,41 @@ class TwoQCache:
         self._a1in: OrderedDict[PageId, _PageMeta] = OrderedDict()
         self._a1out: OrderedDict[PageId, None] = OrderedDict()
         self._am: OrderedDict[PageId, _PageMeta] = OrderedDict()
+        #: Union of A1in and Am keys, kept in lockstep so residency
+        #: checks (the cost model's hottest query) are one set lookup
+        #: instead of two ordered-dict probes.
+        self._resident: set[PageId] = set()
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def __contains__(self, page: PageId) -> bool:
-        return page in self._a1in or page in self._am
+        return page in self._resident
 
     def __len__(self) -> int:
-        return len(self._a1in) + len(self._am)
+        return len(self._resident)
+
+    def is_resident(self, inode: int, index: int) -> bool:
+        """O(1) residency check without constructing a :class:`PageId`.
+
+        ``PageId`` is a tuple subclass, so the plain ``(inode, index)``
+        tuple hashes and compares equal to the stored key.
+        """
+        return (inode, index) in self._resident
+
+    def resident_count(self, inode: int, start: int, end: int) -> int:
+        """Resident pages of ``inode`` in ``[start, end)`` (O(1) each)."""
+        resident = self._resident
+        count = 0
+        for index in range(start, end):
+            if (inode, index) in resident:
+                count += 1
+        return count
 
     def resident_fraction(self, extent: Extent) -> float:
         """Fraction of an extent's pages currently resident."""
-        hits = sum(1 for p in extent.pages() if p in self)
+        hits = self.resident_count(extent.inode, extent.start, extent.end)
         return hits / extent.npages
 
     def is_dirty(self, page: PageId) -> bool:
@@ -125,16 +146,16 @@ class TwoQCache:
             self._am.move_to_end(page)
             self.stats.hits += 1
             return True
-        if page in self._a1in:
+        meta = self._a1in.get(page)
+        if meta is not None:
             # Linux's two-touch promotion: the first A1in reference
             # sets PG_referenced, the second moves the page to the
             # active set.  (Classic 2Q never promotes from A1in, which
             # lets a scan flush a hot set that was re-read before ever
             # being evicted; one-touch promotion would instead let
             # every prefetched-then-read scan page flood Am.)
-            meta = self._a1in[page]
             if meta.referenced:
-                self._a1in.pop(page)
+                del self._a1in[page]
                 self._am[page] = meta
             else:
                 meta.referenced = True
@@ -152,27 +173,70 @@ class TwoQCache:
         Clean evictions vanish silently; dirty ones are returned so the
         write-back layer can flush them.
         """
-        flushed: list[PageId] = []
+        if page in self._resident:
+            meta = self._am.get(page)
+            if meta is not None:
+                self._am.move_to_end(page)
+            else:
+                meta = self._a1in[page]
+            if dirty:
+                meta.dirty = True
+                meta.dirtied_at = now
+            return []
         meta = _PageMeta(dirty=dirty, dirtied_at=now if dirty else 0.0)
-        if page in self._am:
-            self._am.move_to_end(page)
-            if dirty:
-                self._am[page].dirty = True
-                self._am[page].dirtied_at = now
-            return flushed
-        if page in self._a1in:
-            if dirty:
-                self._a1in[page].dirty = True
-                self._a1in[page].dirtied_at = now
-            return flushed
         if page in self._a1out:
             del self._a1out[page]
             self._am[page] = meta
             self.stats.ghost_promotions += 1
         else:
             self._a1in[page] = meta
+        self._resident.add(page)
         self.stats.insertions += 1
-        flushed.extend(self._reclaim())
+        if len(self._resident) > self.capacity:
+            return self._reclaim()
+        return []
+
+    def insert_run(self, inode: int, start: int, end: int, *,
+                   dirty: bool = False, now: Seconds = 0.0) -> list[PageId]:
+        """Batched :meth:`insert` of pages ``[start, end)`` of ``inode``.
+
+        Reclaim still runs after every single insertion (so the eviction
+        stream is bit-identical to one-at-a-time inserts); the batching
+        saves the per-page call and list plumbing on the fetch-completion
+        path, where multi-page readahead extents land.  The body is
+        :meth:`insert` inlined with the queues bound to locals.
+        """
+        flushed: list[PageId] = []
+        resident = self._resident
+        a1in, a1out, am = self._a1in, self._a1out, self._am
+        capacity = self.capacity
+        stats = self.stats
+        dirtied_at = now if dirty else 0.0
+        for index in range(start, end):
+            page = PageId(inode, index)
+            if page in resident:
+                meta = am.get(page)
+                if meta is not None:
+                    am.move_to_end(page)
+                else:
+                    meta = a1in[page]
+                if dirty:
+                    meta.dirty = True
+                    meta.dirtied_at = now
+                continue
+            meta = _PageMeta(dirty=dirty, dirtied_at=dirtied_at)
+            if page in a1out:
+                del a1out[page]
+                am[page] = meta
+                stats.ghost_promotions += 1
+            else:
+                a1in[page] = meta
+            resident.add(page)
+            stats.insertions += 1
+            if len(resident) > capacity:
+                evicted = self._reclaim()
+                if evicted:
+                    flushed.extend(evicted)
         return flushed
 
     def mark_dirty(self, page: PageId, now: Seconds) -> bool:
@@ -196,6 +260,7 @@ class TwoQCache:
         self._a1in.pop(page, None)
         self._am.pop(page, None)
         self._a1out.pop(page, None)
+        self._resident.discard(page)
 
     # ------------------------------------------------------------------
     # replacement
@@ -203,7 +268,7 @@ class TwoQCache:
     def _reclaim(self) -> list[PageId]:
         """Evict until within capacity; returns evicted *dirty* pages."""
         flushed: list[PageId] = []
-        while len(self) > self.capacity:
+        while len(self._resident) > self.capacity:
             if len(self._a1in) > self.kin or not self._am:
                 page, meta = self._a1in.popitem(last=False)
                 self._a1out[page] = None
@@ -211,6 +276,7 @@ class TwoQCache:
                     self._a1out.popitem(last=False)
             else:
                 page, meta = self._am.popitem(last=False)
+            self._resident.discard(page)
             self.stats.evictions += 1
             if meta.dirty:
                 self.stats.dirty_evictions += 1

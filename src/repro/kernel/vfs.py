@@ -138,31 +138,49 @@ class VirtualFileSystem:
         file_pages = max(meta.pages, demand.end)
         widened = self.readahead.plan(pid, inode, demand, file_pages)
 
-        hit_pages = 0
+        # Hot path: iterate page indices and only materialise PageIds
+        # for demand-page cache accesses — readahead windows make the
+        # widened extent much larger than the demand range.  Because the
+        # scan walks one inode's indices in ascending order, the miss
+        # runs can be built inline instead of collecting PageIds and
+        # regrouping them afterwards.
+        cache = self.cache
+        demand_start, demand_end = demand.start, demand.end
         miss_demand = 0
-        missing: list[PageId] = []
-        for page in widened.pages():
-            in_demand = demand.start <= page.index < demand.end
-            if in_demand:
-                if self.cache.access(page):
-                    hit_pages += 1
-                else:
-                    miss_demand += 1
-                    missing.append(page)
-            elif page not in self.cache:
-                missing.append(page)
-        runs = runs_from_pages(missing)
+        runs: list[Extent] = []
+        run_start = -1
+        run_end = -1
+        for index in range(widened.start, widened.end):
+            if demand_start <= index < demand_end:
+                if cache.access(PageId(inode, index)):
+                    continue
+                miss_demand += 1
+            elif cache.is_resident(inode, index):
+                continue
+            if index == run_end:
+                run_end = index + 1
+            else:
+                if run_start >= 0:
+                    runs.append(Extent(inode, run_start,
+                                       run_end - run_start))
+                run_start = index
+                run_end = index + 1
+        if run_start >= 0:
+            runs.append(Extent(inode, run_start, run_end - run_start))
+        hit_pages = (demand_end - demand_start) - miss_demand
         fetches: list[Extent] = []
+        max_pages = self.readahead.max_pages
         for run in runs:
-            fetches.extend(split_max_pages(run,
-                                           self.readahead.max_pages))
+            if run.npages <= max_pages:
+                fetches.append(run)
+            else:
+                fetches.extend(split_max_pages(run, max_pages))
         return FetchPlan(demand, tuple(fetches), hit_pages, miss_demand)
 
     def complete_fetch(self, extent: Extent, now: Seconds) -> list[Extent]:
         """Install fetched pages; returns dirty extents evicted en route."""
-        flushed: list[PageId] = []
-        for page in extent.pages():
-            flushed.extend(self.cache.insert(page, now=now))
+        flushed = self.cache.insert_run(extent.inode, extent.start,
+                                        extent.end, now=now)
         for page in flushed:
             self.writeback.note_clean(page)
         return runs_from_pages(flushed)
@@ -214,10 +232,6 @@ class VirtualFileSystem:
         if demand is None:
             return 0
         # Hot path (FlexFetch's cache filter calls this per profiled
-        # request): plain loop with bound lookups beats a genexpr.
-        cache = self.cache
-        resident = 0
-        for index in range(demand.start, demand.end):
-            if PageId(inode, index) in cache:
-                resident += 1
-        return resident * 4096
+        # request): one set lookup per page, no PageId construction.
+        return self.cache.resident_count(inode, demand.start,
+                                         demand.end) * 4096

@@ -36,6 +36,10 @@ class EventLoop:
         :class:`SimulationError` instead of spinning forever.
     """
 
+    #: Compaction threshold: dead events are purged from the heap once
+    #: they outnumber the live ones (and there are enough to matter).
+    _COMPACT_MIN = 64
+
     def __init__(self, start_time: Seconds = 0.0,
                  max_events: int = 50_000_000) -> None:
         self._now = float(start_time)
@@ -43,6 +47,13 @@ class EventLoop:
         self._max_events = int(max_events)
         self._processed = 0
         self._running = False
+        #: Per-loop insertion slot for tie-breaking.  Assigning slots
+        #: here (rather than from the module-global counter) makes an
+        #: event's ordering a pure function of this loop's schedule —
+        #: independent of how many loops ran earlier in the process,
+        #: which is what lets parallel workers replay bit-identically.
+        self._slot = 0
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # clock
@@ -71,8 +82,10 @@ class EventLoop:
         if time < self._now - TIME_EPSILON:
             raise SimulationError(
                 f"cannot schedule into the past: t={time!r} < now={self._now!r}")
+        slot = self._slot
+        self._slot = slot + 1
         event = Event(time=max(time, self._now), priority=priority,
-                      callback=callback, label=label)
+                      seq=slot, callback=callback, label=label)
         heapq.heappush(self._heap, event)
         return event
 
@@ -85,6 +98,28 @@ class EventLoop:
         return self.schedule_at(self._now + delay, callback,
                                 priority=priority, label=label)
 
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event, with lazy heap compaction.
+
+        ``event.cancel()`` alone leaves the record in the heap until its
+        fire time — fine for the occasional cancel, but a workload that
+        cancels most of what it schedules (DPM timers rearmed on every
+        request) would drag a mostly-dead heap through every sift.
+        Cancelling through the loop keeps a tally and, once dead events
+        outnumber live ones, filters them out in place (one O(n)
+        heapify, amortised O(1) per cancel) instead of re-heapifying on
+        every cancellation.
+        """
+        if not event.cancelled:
+            event.cancel()
+            self._cancelled += 1
+            if (self._cancelled >= self._COMPACT_MIN
+                    and self._cancelled * 2 > len(self._heap)):
+                # In-place so an in-progress run()'s binding stays live.
+                self._heap[:] = [e for e in self._heap if not e.cancelled]
+                heapq.heapify(self._heap)
+                self._cancelled = 0
+
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
@@ -93,6 +128,8 @@ class EventLoop:
         while self._heap:
             event = heapq.heappop(self._heap)
             if event.cancelled:
+                if self._cancelled:
+                    self._cancelled -= 1
                 continue
             self._processed += 1
             if self._processed > self._max_events:
@@ -105,13 +142,35 @@ class EventLoop:
         return False
 
     def run(self) -> float:
-        """Run until the heap drains.  Returns the final clock value."""
+        """Run until the heap drains.  Returns the final clock value.
+
+        The drain loop is :meth:`step` inlined with the heap and pop
+        bound to locals — this is the innermost loop of every replay, so
+        the per-event method call and attribute traffic are worth
+        shaving.
+        """
         if self._running:
             raise SimulationError("event loop is not re-entrant")
         self._running = True
+        heap = self._heap
+        pop = heapq.heappop
+        max_events = self._max_events
         try:
-            while self.step():
-                pass
+            while heap:
+                event = pop(heap)
+                if event.cancelled:
+                    if self._cancelled:
+                        self._cancelled -= 1
+                    continue
+                processed = self._processed + 1
+                self._processed = processed
+                if processed > max_events:
+                    raise SimulationError(
+                        f"event budget exhausted after {max_events} events"
+                        f" (likely a feedback loop); last"
+                        f" label={event.label!r}")
+                self._now = event.time
+                event.callback()
         finally:
             self._running = False
         return self._now
@@ -130,6 +189,8 @@ class EventLoop:
                 head = self._heap[0]
                 if head.cancelled:
                     heapq.heappop(self._heap)
+                    if self._cancelled:
+                        self._cancelled -= 1
                     continue
                 if head.time > deadline + TIME_EPSILON:
                     break

@@ -1,0 +1,172 @@
+"""Unit tests for the content-addressed run cache."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
+from repro.core.simulator import ProgramSpec
+from repro.experiments.cache import (
+    RunCache,
+    UncacheableFactoryError,
+    policy_token,
+    run_key,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import ParallelSweepExecutor
+from repro.experiments.runner import ProgramSet, run_point
+from tests.conftest import make_trace
+
+
+def small_trace(name="cached"):
+    calls = [(1, i * 65536, 65536, "read", i * 2.0) for i in range(6)]
+    return make_trace(calls, name=name, file_sizes={1: 6 * 65536})
+
+
+@pytest.fixture
+def config():
+    return ExperimentConfig(seed=3,
+                            latency_sweep=(0.0, 0.010),
+                            bandwidth_sweep_bps=(11e6 / 8,))
+
+
+@pytest.fixture
+def programs():
+    return (ProgramSpec(small_trace()),)
+
+
+class TestRunKey:
+    def test_stable_across_equal_inputs(self, config, programs):
+        rebuilt = (ProgramSpec(small_trace()),)
+        assert run_key(programs, DiskOnlyPolicy, config.wnic_spec,
+                       config) == \
+            run_key(rebuilt, DiskOnlyPolicy, config.wnic_spec, config)
+
+    @pytest.mark.parametrize("perturb", [
+        lambda c: replace(c, seed=8),
+        lambda c: replace(c, memory_bytes=c.memory_bytes // 2),
+        lambda c: replace(c, disk_spec=replace(
+            c.disk_spec, idle_power=c.disk_spec.idle_power + 1e-12)),
+    ])
+    def test_config_perturbations_change_key(self, config, programs,
+                                             perturb):
+        base = run_key(programs, DiskOnlyPolicy, config.wnic_spec, config)
+        assert run_key(programs, DiskOnlyPolicy, config.wnic_spec,
+                       perturb(config)) != base
+
+    def test_wnic_spec_changes_key(self, config, programs):
+        base = run_key(programs, DiskOnlyPolicy, config.wnic_spec, config)
+        slower = replace(config.wnic_spec,
+                         latency=config.wnic_spec.latency + 0.019)
+        assert run_key(programs, DiskOnlyPolicy, slower, config) != base
+
+    def test_policy_changes_key(self, config, programs):
+        assert run_key(programs, DiskOnlyPolicy, config.wnic_spec,
+                       config) != \
+            run_key(programs, WnicOnlyPolicy, config.wnic_spec, config)
+
+    def test_trace_contents_change_key(self, config, programs):
+        other = (ProgramSpec(make_trace(
+            [(1, 0, 65536, "read", 0.0)], name="cached",
+            file_sizes={1: 65536})),)
+        assert run_key(programs, DiskOnlyPolicy, config.wnic_spec,
+                       config) != \
+            run_key(other, DiskOnlyPolicy, config.wnic_spec, config)
+
+    def test_salt_changes_key(self, config, programs):
+        assert run_key(programs, DiskOnlyPolicy, config.wnic_spec,
+                       config, salt="v1") != \
+            run_key(programs, DiskOnlyPolicy, config.wnic_spec,
+                    config, salt="v2")
+
+    def test_unpicklable_closure_factory_rejected(self, config, programs):
+        with pytest.raises(UncacheableFactoryError):
+            run_key(programs, lambda: DiskOnlyPolicy(),
+                    config.wnic_spec, config)
+
+    def test_policy_token_of_class(self):
+        assert policy_token(DiskOnlyPolicy) == {
+            "__policy_class__": "DiskOnlyPolicy"}
+
+
+class TestRunCache:
+    def _point(self, config, programs):
+        return run_point(ProgramSet(programs), DiskOnlyPolicy,
+                         config.wnic_spec, config)
+
+    def test_miss_then_hit_round_trip(self, tmp_path, config, programs):
+        cache = RunCache(tmp_path)
+        key = cache.key_for(programs, DiskOnlyPolicy, config.wnic_spec,
+                            config)
+        assert cache.get(key) is None
+        point = self._point(config, programs)
+        cache.put(key, point.result)
+        cached = cache.get(key)
+        assert cached == point.result
+        assert (cache.hits, cache.misses, cache.stores) == (1, 1, 1)
+
+    def test_salt_invalidates_previous_entries(self, tmp_path, config,
+                                               programs):
+        old = RunCache(tmp_path, salt="code-v1")
+        point = self._point(config, programs)
+        old.put(old.key_for(programs, DiskOnlyPolicy, config.wnic_spec,
+                            config), point.result)
+        new = RunCache(tmp_path, salt="code-v2")
+        assert new.get(new.key_for(programs, DiskOnlyPolicy,
+                                   config.wnic_spec, config)) is None
+
+    @pytest.mark.parametrize("payload", [
+        "not json {",
+        "{}",
+        '{"result": {"policy": "Disk-only"}}',
+        '{"result": null}',
+    ])
+    def test_corrupted_entry_is_a_miss(self, tmp_path, config, programs,
+                                       payload):
+        cache = RunCache(tmp_path)
+        key = cache.key_for(programs, DiskOnlyPolicy, config.wnic_spec,
+                            config)
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_text(payload, encoding="utf-8")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+
+    def test_corrupted_entry_falls_back_to_live_run(self, tmp_path,
+                                                    config, programs):
+        """A trashed cache file must not poison a sweep."""
+        cache = RunCache(tmp_path)
+        executor = ParallelSweepExecutor(1, cache=cache)
+        curves = executor.run_sweep(
+            ProgramSet(programs), {"Disk-only": DiskOnlyPolicy},
+            [config.wnic_spec], config)
+        key = cache.key_for(programs, DiskOnlyPolicy, config.wnic_spec,
+                            config)
+        cache.path_for(key).write_text("garbage", encoding="utf-8")
+        again = ParallelSweepExecutor(1, cache=RunCache(tmp_path))
+        repaired = again.run_sweep(
+            ProgramSet(programs), {"Disk-only": DiskOnlyPolicy},
+            [config.wnic_spec], config)
+        assert again.live_runs == 1 and again.cache_hits == 0
+        assert repaired == curves
+        # The live run re-wrote the entry; a third pass hits it.
+        third = ParallelSweepExecutor(1, cache=RunCache(tmp_path))
+        assert third.run_sweep(
+            ProgramSet(programs), {"Disk-only": DiskOnlyPolicy},
+            [config.wnic_spec], config) == curves
+        assert third.live_runs == 0 and third.cache_hits == 1
+
+    def test_cached_result_is_bit_identical(self, tmp_path, config,
+                                            programs):
+        cache = RunCache(tmp_path)
+        executor = ParallelSweepExecutor(1, cache=cache)
+        live = executor.run_sweep(
+            ProgramSet(programs), {"Disk-only": DiskOnlyPolicy},
+            [config.wnic_spec], config)
+        warm = ParallelSweepExecutor(1, cache=RunCache(tmp_path))
+        cached = warm.run_sweep(
+            ProgramSet(programs), {"Disk-only": DiskOnlyPolicy},
+            [config.wnic_spec], config)
+        (a,), (b,) = live["Disk-only"], cached["Disk-only"]
+        assert a.result == b.result
+        assert a.energy == b.energy          # exact, not approx
+        assert a.result.end_time == b.result.end_time

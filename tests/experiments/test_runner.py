@@ -1,12 +1,20 @@
 """Unit tests for the sweep runner and the figure builders."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
 from repro.core.simulator import ProgramSpec
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import FIGURES, figure2
-from repro.experiments.runner import SweepPoint, run_point, run_sweep
+from repro.experiments.runner import (
+    ProgramSet,
+    SweepPoint,
+    progress_line,
+    run_point,
+    run_sweep,
+)
 from tests.conftest import make_trace
 
 
@@ -73,6 +81,46 @@ class TestRunSweep:
                   progress=lines.append)
         assert len(lines) == 2
         assert "Disk-only" in lines[0]
+
+    def test_progress_reports_both_bandwidth_units(self, config):
+        """``bandwidth_bps`` is bytes/s; the line must say so.
+
+        11 Mbps of 802.11b is 11e6/8 = 1.375e6 bytes/s.  The old format
+        printed only ``bw=11.0Mbps`` derived from the byte rate, which
+        misread as the field being bits/s — both renderings are now
+        emitted, correctly converted.
+        """
+        trace = small_trace()
+        lines = []
+        run_sweep(lambda: [ProgramSpec(trace)],
+                  {"WNIC-only": WnicOnlyPolicy},
+                  [replace(config.wnic_spec, bandwidth_bps=11e6 / 8)],
+                  config, progress=lines.append)
+        (line,) = lines
+        assert "bw=1.4MB/s (11.0Mbps)" in line
+        assert "lat=" in line and line.endswith("J")
+
+
+class TestProgressLine:
+    def test_units(self, config):
+        trace = small_trace()
+        point = run_point(lambda: [ProgramSpec(trace)], DiskOnlyPolicy,
+                          replace(config.wnic_spec,
+                                  bandwidth_bps=1e6 / 8),
+                          config)
+        line = progress_line(point)
+        assert "bw=0.1MB/s (1.0Mbps)" in line
+        assert f"{point.energy:.1f} J" in line
+
+
+class TestProgramSet:
+    def test_calls_hand_out_fresh_lists(self):
+        trace = small_trace()
+        programs = ProgramSet((ProgramSpec(trace),))
+        first, second = programs(), programs()
+        assert first == second
+        assert first is not second
+        assert first[0].trace is trace
 
     def test_latency_moves_wnic_energy_only(self, config):
         trace = small_trace()
