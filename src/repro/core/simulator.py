@@ -18,6 +18,8 @@ seeds), as a thin shim over the session.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.core.policies import Policy
 from repro.core.session import SimulationSession
 from repro.core.system import MobileSystem
@@ -58,6 +60,12 @@ class ReplaySimulator(SimulationSession):
                  spindown_policy: SpindownPolicy | None = None,
                  faults: FaultSchedule | None = None,
                  strict: bool = False) -> None:
+        # stacklevel=2: report the *caller's* construction site, not
+        # this __init__, so the warning is actionable from the console.
+        warnings.warn(
+            "ReplaySimulator is deprecated; construct"
+            " repro.core.session.SimulationSession instead",
+            DeprecationWarning, stacklevel=2)
         super().__init__(programs, policy, disk_spec=disk_spec,
                          wnic_spec=wnic_spec, memory_bytes=memory_bytes,
                          seed=seed, spindown_policy=spindown_policy,

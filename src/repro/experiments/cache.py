@@ -38,11 +38,14 @@ from repro.core.telemetry import RunResult
 from repro.core.workload import ProgramSpec
 from repro.devices.specs import WnicSpec
 from repro.experiments.config import ExperimentConfig
+from repro.faults.schedule import FaultSchedule
 from repro.traces.trace import Trace
 
 #: Part of every cache key.  Bump on intentional behaviour changes —
 #: the same occasions on which the golden pins are regenerated.
-CODE_VERSION_SALT = "flexfetch-sim-v1"
+#: (v2: fault and spindown configuration joined the key; every v1 row
+#: misses once and is re-simulated to an identical result.)
+CODE_VERSION_SALT = "flexfetch-sim-v2"
 
 
 class UncacheableFactoryError(TypeError):
@@ -79,6 +82,13 @@ def _describe(obj: Any) -> Any:
             "records": [_describe(rec) for rec in obj.records],
             "files": {str(i): _describe(f)
                       for i, f in sorted(obj.files.items())},
+        }
+    if isinstance(obj, FaultSchedule):
+        # A schedule is a pure function of (spec, seed); its generated
+        # timelines need not (and must not) be re-serialised.
+        return {
+            "__faults__": _describe(obj.spec),
+            "seed": obj.seed,
         }
     if isinstance(obj, ExecutionProfile):
         return {
@@ -117,12 +127,18 @@ def run_key(programs: tuple[ProgramSpec, ...] | list[ProgramSpec],
             policy_factory: Any,
             wnic_spec: WnicSpec,
             config: ExperimentConfig,
-            *, salt: str = CODE_VERSION_SALT) -> str:
+            *, faults: Any = None,
+            spindown: Any = None,
+            salt: str = CODE_VERSION_SALT) -> str:
     """Stable content hash identifying one simulation cell.
 
     Only inputs that reach the simulation participate: the sweep grids
     on ``config`` are deliberately excluded, so the same cell shared by
-    two differently shaped sweeps hits the same entry.
+    two differently shaped sweeps hits the same entry.  ``faults`` and
+    ``spindown`` are keyed explicitly — as ``None`` for the common
+    fault-free/default-DPM cell — because both change the
+    :class:`RunResult`; omitting them once let a ``--faults`` run
+    return a stale cached no-fault row.
     """
     description = {
         "salt": salt,
@@ -132,6 +148,8 @@ def run_key(programs: tuple[ProgramSpec, ...] | list[ProgramSpec],
         "disk": _describe(config.disk_spec),
         "memory_bytes": config.memory_bytes,
         "seed": config.seed,
+        "faults": _describe(faults),
+        "spindown": _describe(spindown),
     }
     canonical = json.dumps(description, sort_keys=True,
                            separators=(",", ":"))
@@ -161,10 +179,11 @@ class RunCache:
     # ------------------------------------------------------------------
     def key_for(self, programs: tuple[ProgramSpec, ...] | list[ProgramSpec],
                 policy_factory: Any, wnic_spec: WnicSpec,
-                config: ExperimentConfig) -> str:
+                config: ExperimentConfig, *,
+                faults: Any = None, spindown: Any = None) -> str:
         """Cache key of one cell under this cache's salt."""
         return run_key(programs, policy_factory, wnic_spec, config,
-                       salt=self.salt)
+                       faults=faults, spindown=spindown, salt=self.salt)
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"

@@ -37,9 +37,11 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import (
     PolicyFactory,
     SweepPoint,
+    build_fault_schedule,
     progress_line,
     run_point,
 )
+from repro.faults.schedule import FaultSpec
 
 
 class SweepCellError(RuntimeError):
@@ -73,12 +75,17 @@ class SweepJob:
     policy_factory: PolicyFactory
     wnic_spec: WnicSpec
     config: ExperimentConfig
+    #: fault *spec*, not schedule: the frozen spec pickles cheaply and
+    #: the worker rebuilds the (mutable-cursor) schedule from
+    #: (spec, seed) — the same pair the cache key hashes.
+    faults: FaultSpec | None = None
 
 
 def _execute_job(job: SweepJob) -> SweepPoint:
     """Worker entry point: run one cell (module-level, hence picklable)."""
+    schedule = build_fault_schedule(job.faults, job.config.seed)
     return run_point(lambda: list(job.programs), job.policy_factory,
-                     job.wnic_spec, job.config)
+                     job.wnic_spec, job.config, faults=schedule)
 
 
 class ParallelSweepExecutor:
@@ -113,7 +120,8 @@ class ParallelSweepExecutor:
                   policy_factories: dict[str, PolicyFactory],
                   wnic_specs: Sequence[WnicSpec],
                   config: ExperimentConfig,
-                  *, progress: Callable[[str], None] | None = None
+                  *, progress: Callable[[str], None] | None = None,
+                  faults: FaultSpec | None = None
                   ) -> dict[str, list[SweepPoint]]:
         """Run every policy across every link point.
 
@@ -131,7 +139,8 @@ class ParallelSweepExecutor:
                 jobs.append(SweepJob(index=len(jobs), curve=name,
                                      programs=programs,
                                      policy_factory=factory,
-                                     wnic_spec=spec, config=config))
+                                     wnic_spec=spec, config=config,
+                                     faults=faults))
 
         points: dict[int, SweepPoint] = {}
         errors: dict[int, BaseException] = {}
@@ -165,7 +174,8 @@ class ParallelSweepExecutor:
         pending: list[SweepJob] = []
         for job in jobs:
             key = self.cache.key_for(job.programs, job.policy_factory,
-                                     job.wnic_spec, job.config)
+                                     job.wnic_spec, job.config,
+                                     faults=job.faults)
             result = self.cache.get(key)
             if result is None:
                 pending.append(job)
@@ -187,7 +197,8 @@ class ParallelSweepExecutor:
         self.live_runs += 1
         if self.cache is not None:
             key = self.cache.key_for(job.programs, job.policy_factory,
-                                     job.wnic_spec, job.config)
+                                     job.wnic_spec, job.config,
+                                     faults=job.faults)
             self.cache.put(key, point.result)
         if progress is not None:
             progress(progress_line(point))

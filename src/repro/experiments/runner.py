@@ -18,6 +18,7 @@ from repro.core.telemetry import RunResult
 from repro.core.workload import ProgramSpec
 from repro.devices.specs import WnicSpec
 from repro.experiments.config import ExperimentConfig
+from repro.faults.schedule import FaultSchedule, FaultSpec
 from repro.units import BytesPerSecond, Joules, Seconds
 
 if TYPE_CHECKING:
@@ -79,21 +80,41 @@ def progress_line(point: SweepPoint) -> str:
 def run_point(programs_factory: Callable[[], list[ProgramSpec]],
               policy_factory: PolicyFactory,
               wnic_spec: WnicSpec,
-              config: ExperimentConfig) -> SweepPoint:
-    """Run one policy on one workload at one link setting."""
+              config: ExperimentConfig,
+              *, faults: FaultSchedule | None = None) -> SweepPoint:
+    """Run one policy on one workload at one link setting.
+
+    ``faults`` must be a fresh (or rewound) schedule — its spin-up
+    cursor is consumed by the run.
+    """
     policy = policy_factory()
-    result = (SimulationSession()
-              .with_programs(*programs_factory())
-              .with_policy(policy)
-              .with_devices(disk_spec=config.disk_spec,
-                            wnic_spec=wnic_spec)
-              .with_memory(config.memory_bytes)
-              .with_seed(config.seed)
-              .run())
+    session = (SimulationSession()
+               .with_programs(*programs_factory())
+               .with_policy(policy)
+               .with_devices(disk_spec=config.disk_spec,
+                             wnic_spec=wnic_spec)
+               .with_memory(config.memory_bytes)
+               .with_seed(config.seed))
+    if faults is not None:
+        session = session.with_faults(faults)
+    result = session.run()
     return SweepPoint(policy=policy.name,
                       latency=wnic_spec.latency,
                       bandwidth_bps=wnic_spec.bandwidth_bps,
                       result=result)
+
+
+def build_fault_schedule(faults: FaultSpec | None,
+                         seed: int) -> FaultSchedule | None:
+    """A fresh per-cell schedule for an enabled spec, else None.
+
+    Schedules carry a mutable spin-up cursor, so every cell gets its
+    own; building from ``(spec, seed)`` keeps the timeline a pure
+    function of the cache-key inputs.
+    """
+    if faults is None or not faults.enabled:
+        return None
+    return FaultSchedule(faults, seed=seed)
 
 
 def run_sweep(programs_factory: Callable[[], list[ProgramSpec]],
@@ -102,7 +123,8 @@ def run_sweep(programs_factory: Callable[[], list[ProgramSpec]],
               config: ExperimentConfig,
               *, progress: Callable[[str], None] | None = None,
               workers: int = 1,
-              cache: RunCache | None = None
+              cache: RunCache | None = None,
+              faults: FaultSpec | None = None
               ) -> dict[str, list[SweepPoint]]:
     """Run every policy across every link point.
 
@@ -114,7 +136,9 @@ def run_sweep(programs_factory: Callable[[], list[ProgramSpec]],
     :class:`~repro.experiments.parallel.ParallelSweepExecutor` and are
     bit-identical to the default serial path.  With parallel workers the
     *results* stay in sweep order but progress lines arrive in
-    completion order.
+    completion order.  ``faults`` (a picklable spec, not a schedule)
+    applies the same fault processes to every cell and participates in
+    the cache key.
     """
     if workers != 1 or cache is not None:
         # Local import: the runner must stay importable without pulling
@@ -122,12 +146,15 @@ def run_sweep(programs_factory: Callable[[], list[ProgramSpec]],
         from repro.experiments.parallel import ParallelSweepExecutor
         executor = ParallelSweepExecutor(workers, cache=cache)
         return executor.run_sweep(programs_factory, policy_factories,
-                                  wnic_specs, config, progress=progress)
+                                  wnic_specs, config, progress=progress,
+                                  faults=faults)
     curves: dict[str, list[SweepPoint]] = {name: []
                                            for name in policy_factories}
     for spec in wnic_specs:
         for name, factory in policy_factories.items():
-            point = run_point(programs_factory, factory, spec, config)
+            point = run_point(
+                programs_factory, factory, spec, config,
+                faults=build_fault_schedule(faults, config.seed))
             curves[name].append(point)
             if progress is not None:
                 progress(progress_line(point))

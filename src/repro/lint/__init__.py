@@ -1,7 +1,8 @@
 """``repro.lint`` — the repo's own determinism/units static analyzer.
 
-An AST-based checker with five repo-specific rules that generic linters
-cannot express (see DESIGN.md §10 for the catalogue and rationale):
+An AST-based checker with repo-specific rules that generic linters
+cannot express (see DESIGN.md §10 for the catalogue and rationale).
+The per-file pass:
 
 * **R1 determinism** — no wall clocks or unseeded randomness inside the
   simulator package;
@@ -15,8 +16,23 @@ cannot express (see DESIGN.md §10 for the catalogue and rationale):
 * **R5 layering** — no upward imports across the
   devices → kernel → core → experiments/cli stack (DESIGN.md §12).
 
+The whole-program pass links every linted in-package file into one
+project (AST-only, nothing imported) and runs interprocedural rules
+over its call graph:
+
+* **R6 determinism-taint** — impurity reachable from the sweep worker
+  or the cache-key hash, reported with the call chain;
+* **R7 parallel-safety** — no module-state writes in worker-reachable
+  code, nothing unpicklable into the fork boundary;
+* **R8 cache-key-soundness** — every ``SimulationSession`` input keyed
+  by ``run_key``;
+* **R9 unit-flow** — dimension mismatches that cross call boundaries.
+
 Run as ``python -m repro.lint src/ tests/`` or ``flexfetch lint``;
-suppress a finding with ``# repro-lint: ignore[R1]`` on its line.
+suppress a finding with ``# repro-lint: ignore[R1]`` on its line, a
+file's named rules with ``# repro-lint: ignore-file[R6]`` in the
+leading comment block.  ``--sarif`` emits SARIF 2.1.0; ``--baseline``
+gates CI on new findings only.
 """
 
 from repro.lint.findings import RULES, Finding, Rule

@@ -1,0 +1,106 @@
+"""Recorded-baseline gating for :mod:`repro.lint`.
+
+A baseline file records the findings a tree is *known* to have, so CI
+fails only on **new** findings: adopting a stricter rule does not
+require fixing every historical hit first, and the debt list is an
+explicit, reviewed artifact (`.lint-baseline.json` at the repo root).
+
+Entries key on ``(path, rule, message)`` with a count — deliberately
+**not** on line numbers, which shift with every unrelated edit.  When a
+file holds N baselined occurrences of an identical finding and the new
+analysis produces M, the first ``min(N, M)`` are considered baselined
+and any excess is new.  Fixing a finding therefore never hides a fresh
+one elsewhere in the file unless it is textually identical, in which
+case the distinction is meaningless anyway.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.findings import Finding
+
+#: (path, rule, message) — the line-independent identity of a finding.
+BaselineKey = tuple[str, str, str]
+
+_FORMAT_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be understood."""
+
+
+def _key(finding: Finding) -> BaselineKey:
+    return (finding.path, finding.rule, finding.message)
+
+
+def load_baseline(path: str | Path) -> dict[BaselineKey, int]:
+    """Baseline counts from disk; a missing file is an empty baseline.
+
+    (CI bootstraps by committing an empty baseline; a deleted file
+    behaves the same as one with no entries.)
+    """
+    p = Path(path)
+    try:
+        payload = json.loads(p.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return {}
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"unreadable baseline {p}: {exc}") from exc
+    if not isinstance(payload, dict) or \
+            payload.get("version") != _FORMAT_VERSION or \
+            not isinstance(payload.get("entries"), list):
+        raise BaselineError(
+            f"baseline {p} is not a version-{_FORMAT_VERSION}"
+            " repro.lint baseline")
+    counts: dict[BaselineKey, int] = {}
+    for entry in payload["entries"]:
+        try:
+            key = (str(entry["path"]), str(entry["rule"]),
+                   str(entry["message"]))
+            count = int(entry["count"])
+        except (TypeError, KeyError, ValueError) as exc:
+            raise BaselineError(
+                f"malformed baseline entry in {p}: {entry!r}") from exc
+        counts[key] = counts.get(key, 0) + count
+    return counts
+
+
+def save_baseline(path: str | Path,
+                  findings: list[Finding]) -> None:
+    """Write the findings as the new baseline (sorted, stable layout)."""
+    counts: dict[BaselineKey, int] = {}
+    for finding in findings:
+        key = _key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        {"path": path_, "rule": rule, "message": message, "count": count}
+        for (path_, rule, message), count in sorted(counts.items())
+    ]
+    payload = {"version": _FORMAT_VERSION, "tool": "repro.lint",
+               "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=1) + "\n",
+                          encoding="utf-8")
+
+
+def split_findings(findings: list[Finding],
+                   baseline: dict[BaselineKey, int]
+                   ) -> tuple[list[Finding], list[Finding]]:
+    """Partition into ``(new, baselined)`` by consuming baseline counts.
+
+    Order-preserving: the first occurrences of a key absorb its
+    baseline budget, the rest are new.
+    """
+    remaining = dict(baseline)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in findings:
+        key = _key(finding)
+        budget = remaining.get(key, 0)
+        if budget > 0:
+            remaining[key] = budget - 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

@@ -1,0 +1,267 @@
+"""Import-resolved, class-hierarchy-aware call graph for :mod:`repro.lint`.
+
+For every :class:`~repro.lint.ir.FunctionIR` the scanner resolves each
+call expression to project targets using, in order:
+
+* **typed-receiver dispatch** — ``self.m()``, ``policy.on_tick()`` where
+  the receiver's class is known from a parameter annotation, a local
+  assignment from a constructor/annotated call chain, or an inferred
+  ``self.<attr>`` type.  Dispatch is CHA (class-hierarchy analysis): the
+  resolved method *plus every subclass override* becomes a target, so a
+  ``Policy``-typed call reaches all concrete policies;
+* **dotted resolution** — ``module.func()`` / imported names, through
+  the module's :class:`~repro.lint.ir.ImportTable` and the project's
+  re-export chasing.
+
+Unresolvable calls are recorded as *external* dotted names (the R6
+impurity sources — ``time.time``, ``os.urandom`` — live there) or
+dropped when not even a dotted name exists (calling a parameter, a
+subscript, ...).  The graph therefore *under*-approximates real
+control flow; rules built on it trade missed edges for zero invented
+ones, the right direction for a linter.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.ir import FunctionIR, ModuleIR, Project
+
+
+@dataclass(slots=True)
+class FunctionSummary:
+    """Everything the interprocedural rules need about one function."""
+
+    qualname: str
+    #: resolved project function/method targets, with their call nodes.
+    calls: list[tuple[str, ast.Call]] = field(default_factory=list)
+    #: resolved project *class* constructions (``SweepJob(...)``).
+    constructs: list[tuple[str, ast.Call]] = field(default_factory=list)
+    #: unresolved dotted calls (``time.time`` et al.).
+    external: list[tuple[str, ast.Call]] = field(default_factory=list)
+    #: call node -> resolved targets (for call-aware unit inference).
+    by_node: dict[ast.Call, tuple[str, ...]] = field(default_factory=dict)
+    #: names of functions defined *inside* this one (closure hazards).
+    local_defs: set[str] = field(default_factory=set)
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """One in-order pass over a function body.
+
+    Tracks a local type environment (name -> project class qualname) so
+    builder chains like ``SimulationSession().with_policy(p).run()``
+    resolve: a constructor call types the expression, and a method whose
+    return annotation names a project class propagates it.
+    """
+
+    def __init__(self, project: Project, fn: FunctionIR) -> None:
+        self.project = project
+        self.fn = fn
+        self.module: ModuleIR = fn.module
+        self.summary = FunctionSummary(qualname=fn.qualname)
+        #: every locally bound name (params, assignments, nested defs) —
+        #: these shadow imports for dotted resolution.
+        self.local_names: set[str] = set()
+        self.local_types: dict[str, str] = {}
+        args = fn.node.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs,
+                    *((args.vararg,) if args.vararg else ()),
+                    *((args.kwarg,) if args.kwarg else ())):
+            self.local_names.add(arg.arg)
+            cls = project.annotation_class(self.module, arg.annotation)
+            if cls is not None:
+                self.local_types[arg.arg] = cls
+        if fn.cls is not None and (args.posonlyargs or args.args):
+            first = (args.posonlyargs or args.args)[0].arg
+            self.local_types[first] = fn.cls
+
+    # -- scanning ------------------------------------------------------
+    def scan(self) -> FunctionSummary:
+        for stmt in self.fn.node.body:
+            self.visit(stmt)
+        return self.summary
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._nested_def(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._nested_def(node)
+
+    def _nested_def(self,
+                    node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        # A nested def is part of the enclosing function for call
+        # collection (its body runs on behalf of the caller) and a
+        # closure hazard for R7.
+        self.summary.local_defs.add(node.name)
+        self.local_names.add(node.name)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.generic_visit(node)
+        inferred = self._infer_type(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                self.local_names.add(target.id)
+                if inferred is not None:
+                    self.local_types[target.id] = inferred
+                else:
+                    self.local_types.pop(target.id, None)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.generic_visit(node)
+        if isinstance(node.target, ast.Name):
+            self.local_names.add(node.target.id)
+            cls = self.project.annotation_class(self.module,
+                                                node.annotation)
+            if cls is not None:
+                self.local_types[node.target.id] = cls
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._record_call(node)
+        self.generic_visit(node)
+
+    # -- resolution ----------------------------------------------------
+    def _record_call(self, node: ast.Call) -> None:
+        targets = self._resolve_call(node)
+        if targets is None:
+            return
+        kind, resolved = targets
+        if kind == "class":
+            self.summary.constructs.append((resolved[0], node))
+            init = self.project.lookup_method(resolved[0], "__init__")
+            if init is not None:
+                self.summary.calls.append((init, node))
+                self.summary.by_node[node] = (init,)
+        elif kind == "func":
+            for target in resolved:
+                self.summary.calls.append((target, node))
+            self.summary.by_node[node] = resolved
+        else:
+            self.summary.external.append((resolved[0], node))
+
+    def _resolve_call(self, node: ast.Call
+                      ) -> tuple[str, tuple[str, ...]] | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in self.local_names:
+                return None
+            return self._resolve_dotted_call(func)
+        if isinstance(func, ast.Attribute):
+            receiver = self._infer_type(func.value)
+            if receiver is not None:
+                targets = self._dispatch(receiver, func.attr)
+                return ("func", targets) if targets else None
+            root = self._chain_root(func)
+            if root is None or root.id in self.local_names:
+                return None
+            return self._resolve_dotted_call(func)
+        return None
+
+    def _resolve_dotted_call(self, func: ast.expr
+                             ) -> tuple[str, tuple[str, ...]] | None:
+        dotted = self.module.imports.resolve(func)
+        if dotted is None:
+            return None
+        resolved = self.project.resolve(self.module, dotted)
+        if resolved is not None:
+            if resolved in self.project.classes:
+                return ("class", (resolved,))
+            return ("func", (resolved,))
+        return ("external", (dotted,))
+
+    def _dispatch(self, cls_qualname: str, method: str) -> tuple[str, ...]:
+        """CHA dispatch: the MRO implementation plus subclass overrides."""
+        targets: set[str] = set()
+        impl = self.project.lookup_method(cls_qualname, method)
+        if impl is not None:
+            targets.add(impl)
+        for sub in self.project.subclasses(cls_qualname):
+            override = self.project.classes[sub].methods.get(method)
+            if override is not None:
+                targets.add(override)
+        return tuple(sorted(targets))
+
+    @staticmethod
+    def _chain_root(node: ast.Attribute) -> ast.Name | None:
+        cur: ast.expr = node
+        while isinstance(cur, ast.Attribute):
+            cur = cur.value
+        return cur if isinstance(cur, ast.Name) else None
+
+    def _infer_type(self, expr: ast.expr) -> str | None:
+        """Project class qualname of an expression's value, if known."""
+        if isinstance(expr, ast.Name):
+            return self.local_types.get(expr.id)
+        if isinstance(expr, ast.Call):
+            resolved = self._resolve_call(expr)
+            if resolved is None:
+                return None
+            kind, targets = resolved
+            if kind == "class":
+                return targets[0]
+            if kind == "func":
+                fn = self.project.functions.get(targets[0])
+                if fn is not None:
+                    return self.project.annotation_class(fn.module,
+                                                         fn.node.returns)
+            return None
+        if isinstance(expr, ast.Attribute):
+            base = self._infer_type(expr.value)
+            if base is None:
+                return None
+            return self._attr_type(base, expr.attr)
+        return None
+
+    def _attr_type(self, cls_qualname: str, attr: str) -> str | None:
+        for cls in self.project.mro(cls_qualname):
+            found = self.project.classes[cls].attr_types.get(attr)
+            if found is not None:
+                return found
+        return None
+
+
+class CallGraph:
+    """Summaries and adjacency over every project function."""
+
+    def __init__(self, project: Project) -> None:
+        project.link()
+        self.project = project
+        self.summaries: dict[str, FunctionSummary] = {}
+        for qualname in sorted(project.functions):
+            fn = project.functions[qualname]
+            self.summaries[qualname] = _FunctionScanner(project, fn).scan()
+        self.callees: dict[str, tuple[str, ...]] = {
+            qualname: tuple(sorted({target for target, _ in summary.calls
+                                    if target in project.functions}))
+            for qualname, summary in self.summaries.items()
+        }
+        self.callers: dict[str, list[str]] = {}
+        for caller, targets in self.callees.items():
+            for target in targets:
+                self.callers.setdefault(target, []).append(caller)
+
+    def shortest_path(self, roots: set[str], goal: str
+                      ) -> list[str] | None:
+        """A shortest root->goal call chain (for finding messages)."""
+        if goal in roots:
+            return [goal]
+        frontier = sorted(roots)
+        parents: dict[str, str] = {}
+        seen = set(frontier)
+        while frontier:
+            nxt: list[str] = []
+            for node in frontier:
+                for callee in self.callees.get(node, ()):
+                    if callee in seen:
+                        continue
+                    seen.add(callee)
+                    parents[callee] = node
+                    if callee == goal:
+                        path = [goal]
+                        while path[-1] in parents:
+                            path.append(parents[path[-1]])
+                        return list(reversed(path))
+                    nxt.append(callee)
+            frontier = nxt
+        return None

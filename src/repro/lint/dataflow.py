@@ -1,0 +1,114 @@
+"""A deterministic worklist fixpoint engine for :mod:`repro.lint`.
+
+Every interprocedural rule is a dataflow problem over the call graph:
+
+* **R6** — impurity taint: a function's taint is its own impure calls
+  joined with its callees' taint;
+* call-graph **reachability** — a function is reachable when it is a
+  root or any caller is reachable;
+* **R9** — return-dimension inference: a function's return dimension
+  re-evaluates whenever a callee's does.
+
+:func:`solve` runs any of them to a fixpoint.  The contract is the
+textbook one: facts must grow monotonically under the transfer function
+on a lattice of finite height, or the worklist may not terminate.  The
+engine is deliberately deterministic — nodes are seeded in sorted order
+and the worklist is FIFO with dedup — so findings (and therefore SARIF
+output and baselines) never depend on dict iteration order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable, Mapping
+from typing import TypeVar
+
+N = TypeVar("N")
+F = TypeVar("F")
+
+#: Safety valve: no realistic project needs more sweeps than this, and a
+#: non-monotone transfer function must fail loudly, not spin.
+_MAX_VISITS_PER_NODE = 10_000
+
+
+class FixpointDivergence(RuntimeError):
+    """The transfer function failed to converge (non-monotone facts)."""
+
+
+def solve(nodes: Iterable[N],
+          inputs: Mapping[N, Iterable[N]],
+          transfer: Callable[[N, Callable[[N], F]], F],
+          bottom: F) -> dict[N, F]:
+    """Run a worklist fixpoint over ``nodes``.
+
+    Parameters
+    ----------
+    nodes:
+        The universe (e.g. every function qualname).
+    inputs:
+        For each node, the nodes whose facts its transfer function
+        reads (e.g. its callees for a bottom-up summary).  When an
+        input's fact changes, the node is re-queued.
+    transfer:
+        ``transfer(node, fact_of)`` computes the node's new fact;
+        ``fact_of(other)`` reads the current fact of any node (``bottom``
+        for nodes outside the universe).
+    bottom:
+        Initial fact for every node.
+
+    Returns the fixpoint fact for every node, deterministically.
+    """
+    ordered = sorted(nodes, key=repr)
+    facts: dict[N, F] = dict.fromkeys(ordered, bottom)
+
+    dependents: dict[N, list[N]] = {}
+    for node in ordered:
+        for dep in inputs.get(node, ()):
+            dependents.setdefault(dep, []).append(node)
+
+    def fact_of(other: N) -> F:
+        return facts.get(other, bottom)
+
+    worklist: deque[N] = deque(ordered)
+    queued: set[N] = set(ordered)
+    visits: dict[N, int] = {}
+    while worklist:
+        node = worklist.popleft()
+        queued.discard(node)
+        visits[node] = visits.get(node, 0) + 1
+        if visits[node] > _MAX_VISITS_PER_NODE:
+            raise FixpointDivergence(
+                f"dataflow failed to converge at {node!r}")
+        new = transfer(node, fact_of)
+        if new == facts[node]:
+            continue
+        facts[node] = new
+        for dependent in dependents.get(node, ()):
+            if dependent not in queued:
+                worklist.append(dependent)
+                queued.add(dependent)
+    return facts
+
+
+def reachable(roots: Iterable[N],
+              callees: Mapping[N, Iterable[N]]) -> set[N]:
+    """Nodes reachable from ``roots`` along ``callees`` edges.
+
+    Expressed as a dataflow problem (fact = "reachable yet?") so the
+    same engine underlies both taint and reachability; with edges known
+    up front this converges in one or two sweeps.
+    """
+    root_set = set(roots)
+    callers: dict[N, list[N]] = {}
+    nodes: set[N] = set(callees) | root_set
+    for caller, targets in callees.items():
+        for target in targets:
+            nodes.add(target)
+            callers.setdefault(target, []).append(caller)
+
+    def transfer(node: N, fact_of: Callable[[N], bool]) -> bool:
+        return node in root_set or any(
+            fact_of(c) for c in callers.get(node, ()))
+
+    facts = solve(nodes, callers, transfer, bottom=False)
+    return {node for node, is_reachable in facts.items() if is_reachable}

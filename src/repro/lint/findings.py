@@ -76,6 +76,53 @@ RULES: dict[str, Rule] = {
                       " callables/protocols instead.",
         ),
         Rule(
+            id="R6",
+            name="determinism-taint",
+            summary="no nondeterminism source reachable from sweep"
+                    " execution or cache-key hashing",
+            rationale="the run cache and the parallel executor both"
+                      " assume a cell is a pure function of its"
+                      " declared inputs; a wall-clock read, env lookup,"
+                      " or unordered-set iteration anywhere in the"
+                      " transitive call graph of _execute_job/run_key"
+                      " silently breaks bit-identical replay, even when"
+                      " the impure call sits in a helper R1 never"
+                      " scopes to.",
+        ),
+        Rule(
+            id="R7",
+            name="parallel-safety",
+            summary="no module-level state writes in worker-reachable"
+                    " code; nothing non-picklable crosses the fork"
+                    " boundary",
+            rationale="sweep workers are forked processes: writes to"
+                      " module globals vanish with the worker, and"
+                      " lambdas/closures/open handles/locks placed in"
+                      " SweepJob fields fail to pickle (or worse,"
+                      " pickle to something stale).",
+        ),
+        Rule(
+            id="R8",
+            name="cache-key-soundness",
+            summary="every result-affecting SimulationSession input"
+                    " appears in run_key's canonical description",
+            rationale="a simulation input omitted from the cache key"
+                      " (the PR 1 fault schedules were one) lets a run"
+                      " that varies it hit a stale cached RunResult —"
+                      " the cache returns confidently wrong numbers.",
+        ),
+        Rule(
+            id="R9",
+            name="unit-flow",
+            summary="unit dimensions stay consistent across call"
+                    " boundaries",
+            rationale="R2 checks arithmetic it can see inside one"
+                      " function; a helper returning joules assigned"
+                      " into a Seconds slot, or added to a latency, is"
+                      " only visible once return dimensions propagate"
+                      " through the call graph.",
+        ),
+        Rule(
             id="E1",
             name="parse-error",
             summary="file could not be parsed as Python",

@@ -1,0 +1,453 @@
+"""Project-wide intermediate representation for :mod:`repro.lint`.
+
+The per-file rules (R1-R5) see one tree at a time; the interprocedural
+rules (R6-R9) need a *project*: every module of the ``repro`` package
+parsed together, with imports resolved, symbols indexed by dotted
+qualname, and the class hierarchy known.  This module builds that IR:
+
+* :class:`ImportTable` — local name -> dotted module path, following
+  ``import``/``from`` aliases and resolving relative imports against
+  the importing module's package;
+* :class:`ModuleIR` / :class:`FunctionIR` / :class:`ClassIR` — one
+  parsed module, its module-level functions, and its classes (with
+  methods and resolved base classes);
+* :class:`Project` — the symbol table over all of them, including
+  re-export chasing through package ``__init__`` modules and a
+  class-hierarchy subclass index (the basis of the call graph's CHA
+  dispatch).
+
+Everything here is still pure syntax: no module is ever imported or
+executed, so the IR builds identically on broken checkouts (files that
+fail to parse are simply absent, and every consumer degrades to the
+per-file answer).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.suppressions import Suppressions, parse_suppressions
+
+
+class ImportTable:
+    """Maps local names to the dotted module paths they alias.
+
+    ``package`` is the dotted component tuple of the *containing*
+    package of the module being analyzed (e.g. ``("repro", "core")``
+    for ``repro/core/session.py``); relative imports resolve against
+    it.  Without a package, relative imports stay unresolved.
+    """
+
+    def __init__(self, package: tuple[str, ...] = ()) -> None:
+        self._aliases: dict[str, str] = {}
+        self._package = package
+
+    def collect(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    target = alias.name if alias.asname else \
+                        alias.name.split(".", 1)[0]
+                    self._aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._aliases[local] = f"{base}.{alias.name}"
+
+    def _import_base(self, node: ast.ImportFrom) -> str | None:
+        """Absolute dotted module a ``from X import ...`` names."""
+        if node.level == 0:
+            return node.module
+        pkg = list(self._package)
+        for _ in range(node.level - 1):
+            if not pkg:
+                return None
+            pkg.pop()
+        if node.module:
+            pkg.extend(node.module.split("."))
+        return ".".join(pkg) if pkg else None
+
+    def alias_target(self, name: str) -> str | None:
+        """The dotted path a bare local name aliases, if imported."""
+        return self._aliases.get(name)
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted path of a Name/Attribute chain, through import aliases."""
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = self._aliases.get(cur.id, cur.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+#: calls whose results are module-level *mutable* containers.
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "bytearray",
+    "collections.defaultdict", "collections.deque", "collections.Counter",
+    "collections.OrderedDict",
+})
+
+
+@dataclass(slots=True)
+class FunctionIR:
+    """One module-level function or class method."""
+
+    qualname: str
+    name: str
+    module: ModuleIR
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    #: qualname of the owning class, or None for module-level functions.
+    cls: str | None = None
+
+
+@dataclass(slots=True)
+class ClassIR:
+    """One module-level class: its methods and base-class names."""
+
+    qualname: str
+    name: str
+    module: ModuleIR
+    node: ast.ClassDef
+    #: method name -> FunctionIR qualname.
+    methods: dict[str, str] = field(default_factory=dict)
+    #: base classes as import-resolved dotted names (project resolution
+    #: happens later, in :meth:`Project.mro`).
+    bases: tuple[str, ...] = ()
+    #: ``self.<attr>`` -> class qualname, inferred from ``__init__``
+    #: parameter annotations and constructor calls (best effort).
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(slots=True)
+class ModuleIR:
+    """One parsed module of the project."""
+
+    name: str
+    path: str
+    package_rel: tuple[str, ...]
+    tree: ast.Module
+    imports: ImportTable
+    suppressions: Suppressions
+    #: module-level names bound to mutable containers (list/dict/set
+    #: displays or factory calls) — the R7 shared-state candidates.
+    mutable_globals: frozenset[str] = frozenset()
+
+
+def module_name_of(package_rel: tuple[str, ...]) -> str:
+    """Dotted module name of a package-relative path.
+
+    ``("repro", "experiments", "cache.py")`` -> ``repro.experiments.cache``;
+    an ``__init__.py`` names its package.
+    """
+    parts = list(package_rel)
+    last = parts.pop()
+    stem = last[:-3] if last.endswith(".py") else last
+    if stem != "__init__":
+        parts.append(stem)
+    return ".".join(parts)
+
+
+def _is_mutable_container(node: ast.expr, imports: ImportTable) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        dotted = imports.resolve(node.func)
+        return dotted in _MUTABLE_FACTORIES
+    return False
+
+
+def _collect_mutable_globals(tree: ast.Module,
+                             imports: ImportTable) -> frozenset[str]:
+    names: set[str] = set()
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+            value: ast.expr | None = stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets = [stmt.target]
+            value = stmt.value
+        else:
+            continue
+        if value is None or not _is_mutable_container(value, imports):
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return frozenset(names)
+
+
+def _annotation_name(annotation: ast.expr | None) -> str | None:
+    """The class-naming part of an annotation, as written.
+
+    Unwraps ``X | None``, ``Optional[X]``, and quoted annotations; gives
+    up on anything fancier (unions of two real classes, generics with
+    payloads the IR does not track).
+    """
+    if annotation is None:
+        return None
+    if isinstance(annotation, ast.Constant) and \
+            isinstance(annotation.value, str):
+        text = annotation.value.strip()
+        return text if text.replace(".", "").isidentifier() else None
+    if isinstance(annotation, ast.Name):
+        return annotation.id
+    if isinstance(annotation, ast.Attribute):
+        parts: list[str] = []
+        cur: ast.expr = annotation
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        parts.append(cur.id)
+        return ".".join(reversed(parts))
+    if isinstance(annotation, ast.BinOp) and isinstance(annotation.op,
+                                                        ast.BitOr):
+        left = _annotation_name(annotation.left)
+        right = _annotation_name(annotation.right)
+        if left == "None":
+            return right
+        if right == "None":
+            return left
+        return None
+    if isinstance(annotation, ast.Subscript):
+        outer = _annotation_name(annotation.value)
+        if outer is not None and outer.rsplit(".", 1)[-1] == "Optional":
+            return _annotation_name(annotation.slice)
+        return None
+    return None
+
+
+class Project:
+    """Symbol table and class hierarchy over a set of parsed modules."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleIR] = {}
+        self.functions: dict[str, FunctionIR] = {}
+        self.classes: dict[str, ClassIR] = {}
+        #: class qualname -> direct in-project subclasses.
+        self._subclasses: dict[str, set[str]] = {}
+        self._linked = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_module(self, module: ModuleIR) -> None:
+        self.modules[module.name] = module
+        for stmt in module.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(module, stmt, cls=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(module, stmt)
+        self._linked = False
+
+    def _add_function(self, module: ModuleIR,
+                      node: ast.FunctionDef | ast.AsyncFunctionDef,
+                      cls: str | None) -> FunctionIR:
+        owner = cls if cls is not None else module.name
+        fn = FunctionIR(qualname=f"{owner}.{node.name}", name=node.name,
+                        module=module, node=node, cls=cls)
+        self.functions[fn.qualname] = fn
+        return fn
+
+    def _add_class(self, module: ModuleIR, node: ast.ClassDef) -> None:
+        qualname = f"{module.name}.{node.name}"
+        bases = tuple(dotted for dotted in
+                      (module.imports.resolve(base) for base in node.bases)
+                      if dotted is not None)
+        cls = ClassIR(qualname=qualname, name=node.name, module=module,
+                      node=node, bases=bases)
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn = self._add_function(module, stmt, cls=qualname)
+                cls.methods[stmt.name] = fn.qualname
+        self.classes[qualname] = cls
+
+    def link(self) -> None:
+        """Resolve the class hierarchy and self-attribute types.
+
+        Idempotent; called once every module has been added.
+        """
+        if self._linked:
+            return
+        self._subclasses = {name: set() for name in self.classes}
+        for cls in self.classes.values():
+            for base in cls.bases:
+                resolved = self.resolve(cls.module, base)
+                if resolved in self._subclasses:
+                    self._subclasses[resolved].add(cls.qualname)
+        for cls in self.classes.values():
+            cls.attr_types = self._infer_attr_types(cls)
+        self._linked = True
+
+    def _infer_attr_types(self, cls: ClassIR) -> dict[str, str]:
+        """``self.<attr>`` class types from ``__init__`` annotations.
+
+        ``self._policy = policy`` with ``policy: Policy | None`` types
+        the attribute as ``Policy``; class-level ``AnnAssign`` entries
+        contribute directly.  Best effort — a miss only loses call
+        edges, never invents them.
+        """
+        types: dict[str, str] = {}
+        for stmt in cls.node.body:
+            if isinstance(stmt, ast.AnnAssign) and \
+                    isinstance(stmt.target, ast.Name):
+                resolved = self._resolve_annotation(cls.module,
+                                                    stmt.annotation)
+                if resolved is not None:
+                    types[stmt.target.id] = resolved
+        init_qual = cls.methods.get("__init__")
+        init = self.functions.get(init_qual) if init_qual else None
+        if init is None:
+            return types
+        args = init.node.args
+        param_types: dict[str, str] = {}
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            resolved = self._resolve_annotation(cls.module, arg.annotation)
+            if resolved is not None:
+                param_types[arg.arg] = resolved
+        for node in ast.walk(init.node):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) and \
+                        isinstance(target.value, ast.Name) and \
+                        target.value.id == "self" and \
+                        isinstance(node.value, ast.Name) and \
+                        node.value.id in param_types:
+                    types.setdefault(target.attr,
+                                     param_types[node.value.id])
+        return types
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve_dotted(self, dotted: str, *, _depth: int = 0) -> str | None:
+        """Project qualname of an absolute dotted symbol path, if any.
+
+        Chases re-exports: ``repro.experiments.run_key`` resolves
+        through the package ``__init__``'s import table to
+        ``repro.experiments.cache.run_key``.
+        """
+        if dotted in self.functions or dotted in self.classes:
+            return dotted
+        if _depth >= 8:
+            return None
+        prefix, _, attr = dotted.rpartition(".")
+        if not prefix:
+            return None
+        exporter = self.modules.get(prefix)
+        if exporter is not None:
+            target = exporter.imports.alias_target(attr)
+            if target is not None and target != dotted:
+                return self.resolve_dotted(target, _depth=_depth + 1)
+        return None
+
+    def resolve(self, module: ModuleIR, dotted: str) -> str | None:
+        """Resolve a dotted name as seen *from* ``module``.
+
+        Tries the absolute interpretation first, then the module-local
+        one (an unimported root name is a sibling definition).
+        """
+        absolute = self.resolve_dotted(dotted)
+        if absolute is not None:
+            return absolute
+        return self.resolve_dotted(f"{module.name}.{dotted}")
+
+    def _resolve_annotation(self, module: ModuleIR,
+                            annotation: ast.expr | None) -> str | None:
+        """Project class qualname an annotation refers to, if any."""
+        name = _annotation_name(annotation)
+        if name is None:
+            return None
+        root = name.split(".", 1)[0]
+        aliased = module.imports.alias_target(root)
+        if aliased is not None:
+            name = aliased + name[len(root):]
+        resolved = self.resolve(module, name)
+        return resolved if resolved in self.classes else None
+
+    def annotation_class(self, module: ModuleIR,
+                         annotation: ast.expr | None) -> str | None:
+        """Public wrapper: class qualname named by an annotation."""
+        return self._resolve_annotation(module, annotation)
+
+    # ------------------------------------------------------------------
+    # class hierarchy
+    # ------------------------------------------------------------------
+    def mro(self, cls_qualname: str) -> list[str]:
+        """The class and its in-project ancestors, nearest first."""
+        out: list[str] = []
+        seen: set[str] = set()
+        stack = [cls_qualname]
+        while stack:
+            current = stack.pop(0)
+            if current in seen or current not in self.classes:
+                continue
+            seen.add(current)
+            out.append(current)
+            cls = self.classes[current]
+            for base in cls.bases:
+                resolved = self.resolve(cls.module, base)
+                if resolved is not None:
+                    stack.append(resolved)
+        return out
+
+    def subclasses(self, cls_qualname: str) -> set[str]:
+        """All transitive in-project subclasses."""
+        self.link()
+        out: set[str] = set()
+        stack = list(self._subclasses.get(cls_qualname, ()))
+        while stack:
+            current = stack.pop()
+            if current in out:
+                continue
+            out.add(current)
+            stack.extend(self._subclasses.get(current, ()))
+        return out
+
+    def lookup_method(self, cls_qualname: str, name: str) -> str | None:
+        """Method qualname found by walking the in-project MRO."""
+        for cls in self.mro(cls_qualname):
+            found = self.classes[cls].methods.get(name)
+            if found is not None:
+                return found
+        return None
+
+
+def parse_module(source: str, *, path: str,
+                 package_rel: tuple[str, ...]) -> ModuleIR | None:
+    """Parse one package file into a :class:`ModuleIR` (None on syntax
+    errors — the per-file pass already reported E1)."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return None
+    imports = ImportTable(package=tuple(package_rel[:-1]))
+    imports.collect(tree)
+    return ModuleIR(
+        name=module_name_of(package_rel), path=path,
+        package_rel=package_rel, tree=tree, imports=imports,
+        suppressions=parse_suppressions(source),
+        mutable_globals=_collect_mutable_globals(tree, imports))
+
+
+def build_project(modules: list[ModuleIR]) -> Project:
+    """Index parsed modules into a linked :class:`Project`."""
+    project = Project()
+    for module in modules:
+        project.add_module(module)
+    project.link()
+    return project

@@ -23,6 +23,7 @@ import ast
 from dataclasses import dataclass, field
 
 from repro.lint.findings import Finding
+from repro.lint.ir import ImportTable
 from repro.lint.layering import LayeringRule, layer_of
 from repro.lint.unitinfer import (
     DIMENSION_ALIASES,
@@ -50,43 +51,6 @@ class FileContext:
     @property
     def is_rng_module(self) -> bool:
         return self.package_rel == ("repro", "sim", "rng.py")
-
-
-# ----------------------------------------------------------------------
-# import resolution (shared by R1)
-# ----------------------------------------------------------------------
-class ImportTable:
-    """Maps local names to the dotted module paths they alias."""
-
-    def __init__(self) -> None:
-        self._aliases: dict[str, str] = {}
-
-    def collect(self, tree: ast.AST) -> None:
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    local = alias.asname or alias.name.split(".", 1)[0]
-                    target = alias.name if alias.asname else \
-                        alias.name.split(".", 1)[0]
-                    self._aliases[local] = target
-            elif isinstance(node, ast.ImportFrom) and node.module and \
-                    node.level == 0:
-                for alias in node.names:
-                    local = alias.asname or alias.name
-                    self._aliases[local] = f"{node.module}.{alias.name}"
-
-    def resolve(self, node: ast.expr) -> str | None:
-        """Dotted path of a Name/Attribute chain, through import aliases."""
-        parts: list[str] = []
-        cur = node
-        while isinstance(cur, ast.Attribute):
-            parts.append(cur.attr)
-            cur = cur.value
-        if not isinstance(cur, ast.Name):
-            return None
-        root = self._aliases.get(cur.id, cur.id)
-        parts.append(root)
-        return ".".join(reversed(parts))
 
 
 # ----------------------------------------------------------------------
@@ -125,6 +89,39 @@ _NUMPY_RANDOM_OK = frozenset({
 })
 
 
+def impurity_of_call(dotted: str, node: ast.Call) -> str | None:
+    """Message when a dotted call is a nondeterminism source, else None.
+
+    Shared by R1 (per-file) and R6 (interprocedural taint): both flag
+    the same sources; R6 adds reachability context on top.
+    """
+    if dotted in _WALL_CLOCK:
+        return (f"wall-clock call {dotted}() — simulation"
+                " time comes from the event loop, never the"
+                " host clock")
+    if dotted in _ENTROPY or dotted.startswith("secrets."):
+        return (f"nondeterministic entropy source {dotted}()"
+                " — derive randomness from the experiment"
+                " seed via repro.sim.rng")
+    if dotted in _GLOBAL_RANDOM:
+        return (f"global-state RNG call {dotted}() — use a"
+                " seeded generator from"
+                " repro.sim.rng.make_rng instead")
+    if dotted == "random.Random" and not node.args and not node.keywords:
+        return ("unseeded random.Random() — pass an explicit"
+                " seed derived via repro.sim.rng.child_seed")
+    if dotted == "numpy.random.default_rng" and not node.args and \
+            not node.keywords:
+        return ("unseeded numpy.random.default_rng() — use"
+                " repro.sim.rng.make_rng(seed, name)")
+    if dotted.startswith("numpy.random.") and \
+            dotted not in _NUMPY_RANDOM_OK:
+        return (f"legacy numpy global RNG {dotted}() — use a"
+                " seeded Generator from"
+                " repro.sim.rng.make_rng")
+    return None
+
+
 class DeterminismRule(ast.NodeVisitor):
     """R1: the simulator may not consult wall clocks or unseeded RNGs."""
 
@@ -141,40 +138,10 @@ class DeterminismRule(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         dotted = self.imports.resolve(node.func)
         if dotted is not None:
-            self._check(node, dotted)
+            message = impurity_of_call(dotted, node)
+            if message is not None:
+                self._flag(node, message)
         self.generic_visit(node)
-
-    def _check(self, node: ast.Call, dotted: str) -> None:
-        if dotted in _WALL_CLOCK:
-            self._flag(node, f"wall-clock call {dotted}() — simulation"
-                             " time comes from the event loop, never the"
-                             " host clock")
-            return
-        if dotted in _ENTROPY or dotted.startswith("secrets."):
-            self._flag(node, f"nondeterministic entropy source {dotted}()"
-                             " — derive randomness from the experiment"
-                             " seed via repro.sim.rng")
-            return
-        if dotted in _GLOBAL_RANDOM:
-            self._flag(node, f"global-state RNG call {dotted}() — use a"
-                             " seeded generator from"
-                             " repro.sim.rng.make_rng instead")
-            return
-        if dotted == "random.Random" and not node.args and \
-                not node.keywords:
-            self._flag(node, "unseeded random.Random() — pass an explicit"
-                             " seed derived via repro.sim.rng.child_seed")
-            return
-        if dotted == "numpy.random.default_rng" and not node.args and \
-                not node.keywords:
-            self._flag(node, "unseeded numpy.random.default_rng() — use"
-                             " repro.sim.rng.make_rng(seed, name)")
-            return
-        if dotted.startswith("numpy.random.") and \
-                dotted not in _NUMPY_RANDOM_OK:
-            self._flag(node, f"legacy numpy global RNG {dotted}() — use a"
-                             " seeded Generator from"
-                             " repro.sim.rng.make_rng")
 
 
 # ----------------------------------------------------------------------

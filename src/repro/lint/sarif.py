@@ -1,0 +1,102 @@
+"""SARIF 2.1.0 output for :mod:`repro.lint`.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS
+standard CI systems ingest for code-scanning annotations.  This module
+renders a findings list as one ``run`` of one ``tool``, with the rule
+catalogue exported as ``reportingDescriptor`` entries so viewers can
+show the rationale next to each result.
+
+The output is deterministic: findings arrive pre-sorted from the
+runner, the rule array is sorted by id, and serialisation is plain
+``json.dumps`` — two identical analyses produce byte-identical files.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import PurePath
+from typing import Any
+
+from repro.lint.findings import RULES, Finding
+
+#: The schema the output declares (and the test validates against).
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+SARIF_VERSION = "2.1.0"
+
+
+def _rule_descriptors() -> list[dict[str, Any]]:
+    return [
+        {
+            "id": rule.id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.summary},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in sorted(RULES.values(), key=lambda r: r.id)
+    ]
+
+
+def _result(finding: Finding, rule_index: dict[str, int],
+            new: set[Finding] | None) -> dict[str, Any]:
+    result: dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": PurePath(finding.path).as_posix(),
+                },
+                "region": {
+                    "startLine": finding.line,
+                    # SARIF columns are 1-based; Finding.col is the
+                    # 0-based AST offset.
+                    "startColumn": finding.col + 1,
+                },
+            },
+        }],
+    }
+    index = rule_index.get(finding.rule)
+    if index is not None:
+        result["ruleIndex"] = index
+    if new is not None:
+        result["baselineState"] = "new" if finding in new else "unchanged"
+    return result
+
+
+def to_sarif(findings: list[Finding], *,
+             new: set[Finding] | None = None) -> dict[str, Any]:
+    """A SARIF 2.1.0 log document for the findings.
+
+    When ``new`` is given (a baseline was applied), each result carries
+    a ``baselineState`` of ``"new"`` or ``"unchanged"``.
+    """
+    descriptors = _rule_descriptors()
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.lint",
+                    "informationUri":
+                        "https://github.com/flexfetch/flexfetch",
+                    "rules": descriptors,
+                },
+            },
+            "columnKind": "unicodeCodePoints",
+            "results": [_result(f, rule_index, new) for f in findings],
+        }],
+    }
+
+
+def write_sarif(path: str, findings: list[Finding], *,
+                new: set[Finding] | None = None) -> None:
+    """Serialise :func:`to_sarif` to ``path`` (UTF-8, stable layout)."""
+    document = to_sarif(findings, new=new)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=False)
+        handle.write("\n")

@@ -1,22 +1,30 @@
 """Suppression-comment parsing for :mod:`repro.lint`.
 
-Two pragmas, both ordinary comments:
+Three pragmas, all ordinary comments:
 
 * ``# repro-lint: ignore[R1]`` / ``ignore[R1,R3]`` / ``ignore`` —
-  suppress the named rules (or all rules) on that physical line;
+  suppress the named rules (or all rules) on that physical line; on the
+  last line of a multi-line statement the pragma covers the whole
+  statement (findings anchor to the statement's first line);
+* ``# repro-lint: ignore-file[R6]`` / ``ignore-file[R6,R7]`` — suppress
+  the named rules everywhere in the file.  Only honoured in the *first
+  comment block* (leading comments/blank lines before any code), so a
+  file's opt-outs are visible at the top.  Unknown rule ids are kept
+  verbatim and simply never match a finding;
 * ``# repro-lint: skip-file`` — skip the whole file (used sparingly;
   test fixtures that *must* contain violations are the intended user).
 """
 
 from __future__ import annotations
 
+import ast
 import re
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.lint.findings import Finding
 
 _PRAGMA = re.compile(
-    r"#\s*repro-lint:\s*(?P<verb>ignore|skip-file)"
+    r"#\s*repro-lint:\s*(?P<verb>ignore-file|ignore|skip-file)"
     r"(?:\[(?P<rules>[A-Za-z0-9,\s]+)\])?")
 
 
@@ -27,10 +35,14 @@ class Suppressions:
     skip_file: bool
     #: line number -> suppressed rule ids; empty set means *all* rules.
     by_line: dict[int, frozenset[str]]
+    #: rule ids suppressed for the whole file (``ignore-file[...]``).
+    file_rules: frozenset[str] = frozenset()
 
     def allows(self, finding: Finding) -> bool:
         """True when the finding survives the file's pragmas."""
         if self.skip_file:
+            return False
+        if finding.rule in self.file_rules:
             return False
         rules = self.by_line.get(finding.line)
         if rules is None:
@@ -38,22 +50,87 @@ class Suppressions:
         return bool(rules) and finding.rule not in rules
 
 
+def _parse_rule_list(spec: str) -> frozenset[str]:
+    return frozenset(token.strip().upper()
+                     for token in spec.split(",") if token.strip())
+
+
 def parse_suppressions(source: str) -> Suppressions:
     """Scan source text for ``repro-lint`` pragmas."""
     skip_file = False
     by_line: dict[int, frozenset[str]] = {}
+    file_rules: set[str] = set()
+    in_header = True
     for lineno, line in enumerate(source.splitlines(), start=1):
+        stripped = line.strip()
+        if in_header and stripped and not stripped.startswith("#"):
+            in_header = False
         match = _PRAGMA.search(line)
         if match is None:
             continue
-        if match.group("verb") == "skip-file":
+        verb = match.group("verb")
+        if verb == "skip-file":
             skip_file = True
             continue
         spec = match.group("rules")
+        if verb == "ignore-file":
+            # Only the leading comment block may opt a file out; a
+            # buried ignore-file is inert (and the named rules need an
+            # explicit list — a blanket file opt-out is skip-file).
+            if in_header and spec is not None:
+                file_rules |= _parse_rule_list(spec)
+            continue
         if spec is None:
             by_line[lineno] = frozenset()
         else:
-            by_line[lineno] = frozenset(
-                token.strip().upper()
-                for token in spec.split(",") if token.strip())
-    return Suppressions(skip_file=skip_file, by_line=by_line)
+            by_line[lineno] = _parse_rule_list(spec)
+    return Suppressions(skip_file=skip_file, by_line=by_line,
+                        file_rules=frozenset(file_rules))
+
+
+def expand_multiline(suppressions: Suppressions,
+                     tree: ast.AST) -> Suppressions:
+    """Make trailing pragmas on multi-line statements effective.
+
+    Findings anchor to a statement's *first* line, but a pragma is
+    naturally written on the line the offending expression ends on::
+
+        total = (compute_energy()
+                 + base_line)  # repro-lint: ignore[R9]
+
+    For every statement spanning several lines, any pragma on any of
+    its lines is copied onto its first line (rule sets union; an
+    ignore-all on one line wins).
+    """
+    if not suppressions.by_line:
+        return suppressions
+    by_line = dict(suppressions.by_line)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        if hasattr(node, "body"):
+            # Compound statements (if/for/def/...) span their whole
+            # suite; inheriting pragmas from nested lines would
+            # suppress far more than the author wrote.
+            continue
+        end = getattr(node, "end_lineno", None)
+        if end is None or end <= node.lineno:
+            continue
+        merged: frozenset[str] | None = by_line.get(node.lineno)
+        hit = False
+        for lineno in range(node.lineno + 1, end + 1):
+            rules = suppressions.by_line.get(lineno)
+            if rules is None:
+                continue
+            hit = True
+            if merged is None:
+                merged = rules
+            elif not merged or not rules:
+                merged = frozenset()  # ignore-all dominates
+            else:
+                merged = merged | rules
+        if hit and merged is not None:
+            by_line[node.lineno] = merged
+    if by_line == suppressions.by_line:
+        return suppressions
+    return replace(suppressions, by_line=by_line)

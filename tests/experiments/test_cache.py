@@ -15,6 +15,7 @@ from repro.experiments.cache import (
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.parallel import ParallelSweepExecutor
 from repro.experiments.runner import ProgramSet, run_point
+from repro.faults.schedule import FaultSchedule, FaultSpec
 from tests.conftest import make_trace
 
 
@@ -78,6 +79,36 @@ class TestRunKey:
                        config, salt="v1") != \
             run_key(programs, DiskOnlyPolicy, config.wnic_spec,
                     config, salt="v2")
+
+    def test_fault_spec_changes_key(self, config, programs):
+        """Regression: a --faults run must never hit a no-fault row."""
+        base = run_key(programs, DiskOnlyPolicy, config.wnic_spec, config)
+        spec = FaultSpec(outage_rate=0.01)
+        faulted = run_key(programs, DiskOnlyPolicy, config.wnic_spec,
+                          config, faults=spec)
+        assert faulted != base
+        other = run_key(programs, DiskOnlyPolicy, config.wnic_spec,
+                        config, faults=FaultSpec(outage_rate=0.02))
+        assert other not in (base, faulted)
+
+    def test_fault_schedule_keys_on_spec_and_seed(self, config, programs):
+        spec = FaultSpec(outage_rate=0.01)
+        as_schedule = run_key(
+            programs, DiskOnlyPolicy, config.wnic_spec, config,
+            faults=FaultSchedule(spec, seed=config.seed))
+        rebuilt = run_key(
+            programs, DiskOnlyPolicy, config.wnic_spec, config,
+            faults=FaultSchedule(spec, seed=config.seed))
+        assert as_schedule == rebuilt
+        reseeded = run_key(
+            programs, DiskOnlyPolicy, config.wnic_spec, config,
+            faults=FaultSchedule(spec, seed=config.seed + 1))
+        assert reseeded != as_schedule
+
+    def test_spindown_changes_key(self, config, programs):
+        base = run_key(programs, DiskOnlyPolicy, config.wnic_spec, config)
+        assert run_key(programs, DiskOnlyPolicy, config.wnic_spec,
+                       config, spindown={"timeout": 2.0}) != base
 
     def test_unpicklable_closure_factory_rejected(self, config, programs):
         with pytest.raises(UncacheableFactoryError):
@@ -154,6 +185,22 @@ class TestRunCache:
             ProgramSet(programs), {"Disk-only": DiskOnlyPolicy},
             [config.wnic_spec], config) == curves
         assert third.live_runs == 0 and third.cache_hits == 1
+
+    def test_faulted_sweep_never_hits_unfaulted_rows(self, tmp_path,
+                                                     config, programs):
+        """The stale-cache bug, end to end: warm a fault-free cache,
+        then run the same cell with faults — it must simulate live."""
+        warm = ParallelSweepExecutor(1, cache=RunCache(tmp_path))
+        warm.run_sweep(ProgramSet(programs),
+                       {"Disk-only": DiskOnlyPolicy},
+                       [config.wnic_spec], config)
+        faulted = ParallelSweepExecutor(1, cache=RunCache(tmp_path))
+        faulted.run_sweep(ProgramSet(programs),
+                          {"Disk-only": DiskOnlyPolicy},
+                          [config.wnic_spec], config,
+                          faults=FaultSpec(outage_rate=0.05,
+                                           outage_mean=5.0))
+        assert (faulted.cache_hits, faulted.live_runs) == (0, 1)
 
     def test_cached_result_is_bit_identical(self, tmp_path, config,
                                             programs):

@@ -1,0 +1,153 @@
+"""Baseline gating: the library layer and the CLI flags.
+
+The key property under test: baselines key on (path, rule, message),
+never on line numbers, so unrelated edits that shift code around do not
+resurrect baselined findings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.baseline import (
+    BaselineError,
+    load_baseline,
+    save_baseline,
+    split_findings,
+)
+from repro.lint.findings import Finding
+from repro.lint.runner import main as lint_main
+
+BAD = "def f(a=[]):\n    return a\n\n\ndef g(b={}):\n    return b\n"
+
+
+def _finding(line: int, message: str = "mutable default") -> Finding:
+    return Finding(path="pkg/mod.py", line=line, col=0, rule="R4",
+                   message=message)
+
+
+class TestLibrary:
+    def test_round_trip_aggregates_counts(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [_finding(1), _finding(5), _finding(9, "x")])
+        assert load_baseline(path) == {
+            ("pkg/mod.py", "R4", "mutable default"): 2,
+            ("pkg/mod.py", "R4", "x"): 1,
+        }
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    @pytest.mark.parametrize("payload", [
+        "not json {",
+        "[]",
+        '{"version": 99, "entries": []}',
+        '{"version": 1, "entries": [{"path": "x"}]}',
+    ])
+    def test_malformed_baseline_raises(self, tmp_path, payload):
+        path = tmp_path / "baseline.json"
+        path.write_text(payload, encoding="utf-8")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_split_consumes_counts_in_order(self):
+        findings = [_finding(1), _finding(5), _finding(9)]
+        baseline = {("pkg/mod.py", "R4", "mutable default"): 2}
+        new, baselined = split_findings(findings, baseline)
+        assert baselined == [_finding(1), _finding(5)]
+        assert new == [_finding(9)]
+
+    def test_lines_do_not_participate_in_the_key(self):
+        # the same finding at a totally different line is baselined.
+        new, baselined = split_findings(
+            [_finding(1234)],
+            {("pkg/mod.py", "R4", "mutable default"): 1})
+        assert new == [] and len(baselined) == 1
+
+    def test_saved_file_is_sorted_and_versioned(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [_finding(9, "zz"), _finding(1, "aa")])
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert payload["tool"] == "repro.lint"
+        messages = [e["message"] for e in payload["entries"]]
+        assert messages == ["aa", "zz"]
+
+
+class TestCli:
+    def _write_bad(self, tmp_path: Path) -> Path:
+        bad = tmp_path / "bad.py"
+        bad.write_text(BAD, encoding="utf-8")
+        return bad
+
+    def test_update_then_gate_is_clean(self, tmp_path,
+                                       capsys: pytest.CaptureFixture[str]):
+        bad = self._write_bad(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(bad), "--baseline", str(baseline),
+                          "--update-baseline"]) == 0
+        assert "updated with 2" in capsys.readouterr().err
+        assert lint_main([str(bad), "--baseline", str(baseline)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "0 findings (2 baselined)" in captured.err
+
+    def test_new_finding_fails_and_is_the_only_one_printed(
+            self, tmp_path, capsys: pytest.CaptureFixture[str]):
+        bad = self._write_bad(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(bad), "--baseline", str(baseline),
+                          "--update-baseline"]) == 0
+        capsys.readouterr()
+        bad.write_text(BAD + "\n\ntry:\n    pass\nexcept:\n    pass\n",
+                       encoding="utf-8")
+        assert lint_main([str(bad), "--baseline", str(baseline)]) == 1
+        captured = capsys.readouterr()
+        assert "bare except" in captured.out
+        assert captured.out.count("R4") == 1
+        assert "1 finding (2 baselined)" in captured.err
+
+    def test_baselined_findings_survive_line_shifts(
+            self, tmp_path, capsys: pytest.CaptureFixture[str]):
+        bad = self._write_bad(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(bad), "--baseline", str(baseline),
+                          "--update-baseline"]) == 0
+        bad.write_text("# moved\n# around\n\n" + BAD, encoding="utf-8")
+        assert lint_main([str(bad), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+    def test_update_baseline_requires_baseline(
+            self, tmp_path, capsys: pytest.CaptureFixture[str]):
+        bad = self._write_bad(tmp_path)
+        assert lint_main([str(bad), "--update-baseline"]) == 2
+        assert "--update-baseline requires --baseline" \
+            in capsys.readouterr().err
+
+    def test_malformed_baseline_is_a_usage_error(
+            self, tmp_path, capsys: pytest.CaptureFixture[str]):
+        bad = self._write_bad(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{broken", encoding="utf-8")
+        assert lint_main([str(bad), "--baseline", str(baseline)]) == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_sarif_marks_baseline_states(self, tmp_path,
+                                         capsys: pytest.CaptureFixture[str]):
+        bad = self._write_bad(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        out = tmp_path / "out.sarif"
+        assert lint_main([str(bad), "--baseline", str(baseline),
+                          "--update-baseline"]) == 0
+        bad.write_text(BAD + "\n\ntry:\n    pass\nexcept:\n    pass\n",
+                       encoding="utf-8")
+        assert lint_main([str(bad), "--baseline", str(baseline),
+                          "--sarif", str(out)]) == 1
+        capsys.readouterr()
+        results = json.loads(out.read_text(
+            encoding="utf-8"))["runs"][0]["results"]
+        states = sorted(r["baselineState"] for r in results)
+        assert states == ["new", "unchanged", "unchanged"]

@@ -214,3 +214,54 @@ def test_r5_pragma_suppresses() -> None:
     source = ("from repro.experiments.runner import run_point"
               "  # repro-lint: ignore[R5]\n")
     assert lint_source(source, path="x.py", package_rel=IN_PACKAGE) == []
+
+
+def test_r5_relative_imports_resolve_from_nested_subpackages() -> None:
+    # traces.synth is two levels deep; each leading dot beyond the
+    # first climbs one package.
+    import ast
+
+    from repro.lint.layering import LayeringRule
+    from repro.lint.rules import FileContext
+
+    rule = LayeringRule(FileContext(
+        path="scenarios.py",
+        package_rel=("repro", "traces", "synth", "scenarios.py")))
+    resolve = rule._absolute_module
+
+    def node_of(source: str) -> ast.ImportFrom:
+        stmt = ast.parse(source).body[0]
+        assert isinstance(stmt, ast.ImportFrom)
+        return stmt
+
+    assert resolve(node_of("from . import phases")) == \
+        "repro.traces.synth"
+    assert resolve(node_of("from ..trace import Trace")) == \
+        "repro.traces.trace"
+    assert resolve(node_of("from ...core import profile")) == \
+        "repro.core"
+    # exactly at the root the path leaves ``repro`` (never ranked);
+    # climbing past it is unresolvable, not a crash.
+    assert resolve(node_of("from ....x import y")) == "x"
+    assert resolve(node_of("from .....x import y")) is None
+
+
+def test_r5_relative_upward_import_from_ranked_subpackage() -> None:
+    # a hypothetical devices/models/disk.py reaching up into core via
+    # a relative import is still caught after resolution.
+    source = "from ...core import session\n"
+    findings = lint_source(source, path="disk.py",
+                           package_rel=("repro", "devices", "models",
+                                        "disk.py"))
+    assert [f.rule for f in findings] == ["R5"]
+    assert "repro.core" in findings[0].message
+
+
+def test_r5_relative_imports_inside_traces_synth_are_clean() -> None:
+    # the whole synth package is unranked, so even its upward-looking
+    # relative imports (into core) resolve without a finding.
+    source = ("from ..trace import Trace\n"
+              "from ...core.profile import profile_from_trace\n")
+    assert lint_source(source, path="scenarios.py",
+                       package_rel=("repro", "traces", "synth",
+                                    "scenarios.py")) == []

@@ -1,0 +1,103 @@
+"""SARIF 2.1.0 output: schema validity, determinism, CLI integration.
+
+Schema validation runs against a checked-in, hand-reduced subset of the
+official ``sarif-schema-2.1.0.json`` (same required sets, types, and
+enums for every property the tool emits); the full 330KB schema is not
+vendored.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import jsonschema
+import pytest
+
+from repro.lint.findings import RULES, Finding
+from repro.lint.runner import main as lint_main
+from repro.lint.sarif import (
+    SARIF_SCHEMA_URI,
+    SARIF_VERSION,
+    to_sarif,
+    write_sarif,
+)
+
+SCHEMA = json.loads(
+    (Path(__file__).parent / "fixtures" /
+     "sarif-2.1.0-subset.schema.json").read_text(encoding="utf-8"))
+
+
+def _finding(rule: str = "R1", line: int = 3, col: int = 4,
+             message: str = "wall clock") -> Finding:
+    return Finding(path="src/repro/x.py", line=line, col=col,
+                   rule=rule, message=message)
+
+
+def _validate(document: dict) -> None:
+    jsonschema.validate(instance=document, schema=SCHEMA)
+
+
+class TestDocumentShape:
+    def test_validates_against_the_2_1_0_schema(self):
+        _validate(to_sarif([_finding(), _finding("R6", 9, 0, "tainted")]))
+
+    def test_empty_findings_validate_too(self):
+        _validate(to_sarif([]))
+
+    def test_header_declares_2_1_0(self):
+        document = to_sarif([])
+        assert document["version"] == SARIF_VERSION == "2.1.0"
+        assert document["$schema"] == SARIF_SCHEMA_URI
+        assert "sarif-schema-2.1.0.json" in SARIF_SCHEMA_URI
+
+    def test_rule_catalogue_is_exported_sorted(self):
+        rules = to_sarif([])["runs"][0]["tool"]["driver"]["rules"]
+        ids = [r["id"] for r in rules]
+        assert ids == sorted(ids)
+        assert set(ids) == set(RULES)
+
+    def test_rule_index_points_at_the_descriptor(self):
+        document = to_sarif([_finding("R6")])
+        run = document["runs"][0]
+        result = run["results"][0]
+        descriptor = run["tool"]["driver"]["rules"][result["ruleIndex"]]
+        assert descriptor["id"] == result["ruleId"] == "R6"
+
+    def test_columns_are_one_based(self):
+        result = to_sarif([_finding(col=0)])["runs"][0]["results"][0]
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startColumn"] == 1
+        assert region["startLine"] == 3
+
+    def test_baseline_state_only_when_a_baseline_was_applied(self):
+        fresh = _finding("R1", 1, 0, "new one")
+        old = _finding("R1", 2, 0, "old one")
+        without = to_sarif([fresh, old])["runs"][0]["results"]
+        assert all("baselineState" not in r for r in without)
+        with_states = to_sarif([fresh, old],
+                               new={fresh})["runs"][0]["results"]
+        assert [r["baselineState"] for r in with_states] == \
+            ["new", "unchanged"]
+        _validate(to_sarif([fresh, old], new={fresh}))
+
+
+class TestWriter:
+    def test_byte_identical_across_runs(self, tmp_path):
+        findings = [_finding(), _finding("R9", 7, 2, "unit-less")]
+        a, b = tmp_path / "a.sarif", tmp_path / "b.sarif"
+        write_sarif(str(a), findings)
+        write_sarif(str(b), findings)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_cli_writes_a_valid_log(self, tmp_path,
+                                    capsys: pytest.CaptureFixture[str]):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(a=[]):\n    return a\n", encoding="utf-8")
+        out = tmp_path / "out.sarif"
+        assert lint_main([str(bad), "--sarif", str(out)]) == 1
+        capsys.readouterr()
+        document = json.loads(out.read_text(encoding="utf-8"))
+        _validate(document)
+        results = document["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == ["R4"]
