@@ -1,0 +1,171 @@
+"""Chaos acceptance run on the Figure-3 reduced grid.
+
+The small-grid suite (``tests/experiments/test_chaos.py``) exercises
+each injector in isolation; this module is the acceptance-level check:
+the same grid ``test_fig3.py`` pins to golden energies, swept under
+*combined* seeded chaos — SIGKILLed workers, hung cells, damaged cache
+rows — must complete via supervision/retry with curves bit-identical
+to a clean serial run (and matching the pinned energies).  A second
+scenario SIGKILLs the sweeping process itself mid-grid and proves
+``--resume`` reproduces the golden grid without re-running completed
+cells.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import BENCH_LATENCIES, RESULTS_DIR
+from repro.core.bluefs import BlueFSPolicy
+from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
+from repro.core.profile import profile_from_trace
+from repro.core.workload import ProgramSpec
+from repro.experiments.cache import RunCache
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import FlexFetchFactory
+from repro.experiments.journal import SweepJournal, load_journal
+from repro.experiments.parallel import ParallelSweepExecutor
+from repro.experiments.runner import ProgramSet
+from repro.experiments.supervisor import RetryPolicy
+from repro.faults.chaos import ChaosInjector, ChaosSpec
+from repro.traces.synth import generate_thunderbird
+from repro.units import approx_eq
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+GOLDEN_PATH = RESULTS_DIR / "golden.json"
+
+#: Combined-injection campaign: kills, hangs, and cache damage at once.
+CHAOS = ChaosSpec(kill_prob=0.25, hang_prob=0.1, hang_seconds=60.0,
+                  corrupt_prob=0.3, truncate_prob=0.1)
+RETRY = RetryPolicy(max_retries=3, backoff_base=0.05, jitter_frac=0.1)
+#: 16x the ~0.5 s per-cell runtime, far below hang_seconds.
+TIMEOUT = 8.0
+
+
+def fig3_grid():
+    """Panel (a) of the fig3 reduced grid: 4 policies x 5 latencies."""
+    config = ExperimentConfig(latency_sweep=BENCH_LATENCIES)
+    trace = generate_thunderbird(config.seed)
+    profile = profile_from_trace(trace)
+    policies = {
+        "Disk-only": DiskOnlyPolicy,
+        "WNIC-only": WnicOnlyPolicy,
+        "BlueFS": BlueFSPolicy,
+        "FlexFetch": FlexFetchFactory(profile=profile,
+                                      loss_rate=config.loss_rate,
+                                      stage_length=config.stage_length),
+    }
+    return ProgramSet((ProgramSpec(trace),)), policies, \
+        config.latency_points(), config
+
+
+@pytest.fixture(scope="module")
+def golden():
+    programs, policies, specs, config = fig3_grid()
+    return ParallelSweepExecutor(1).run_sweep(programs, policies, specs,
+                                              config)
+
+
+def _assert_matches_pinned(curves):
+    grid = json.loads(GOLDEN_PATH.read_text())["fig3_grid"]
+    for name, want in grid["by_latency"].items():
+        got = [p.energy for p in curves[name]]
+        for i, (g, w) in enumerate(zip(got, want, strict=True)):
+            assert approx_eq(g, w), f"{name}[{i}]: {g} != pinned {w}"
+
+
+def test_combined_chaos_sweep_is_golden_exact(tmp_path, golden):
+    programs, policies, specs, config = fig3_grid()
+    cells = len(policies) * len(specs)
+    executor = ParallelSweepExecutor(
+        2, cache=RunCache(tmp_path / "cache"), retry=RETRY,
+        timeout=TIMEOUT, chaos=CHAOS,
+        journal=SweepJournal(tmp_path / "fig3.jsonl"))
+    curves = executor.run_sweep(programs, policies, specs, config)
+    executor.journal.close()
+
+    for name in golden:
+        for a, b in zip(golden[name], curves[name], strict=True):
+            assert a.result == b.result   # bit-identical under chaos
+    _assert_matches_pinned(curves)
+
+    # The planned first-attempt injections are deterministic; assert the
+    # supervisor actually absorbed each one.
+    injector = ChaosInjector(CHAOS, config.seed)
+    plans = [injector.action_for(i, 1) for i in range(cells)]
+    assert executor.retries["worker-died"] >= plans.count("kill")
+    assert executor.retries["timeout"] >= plans.count("hang")
+    assert plans.count("kill") > 0 and plans.count("hang") > 0
+
+    # Cache damage lands on the *next* sweep: rows for every damaged
+    # cell are corrupt, counted, and re-simulated to the same bits.
+    assert executor.cache_chaos is not None
+    damaged = sum(executor.cache_chaos.injected.values())
+    assert damaged > 0
+    warm_cache = RunCache(tmp_path / "cache")
+    warm = ParallelSweepExecutor(1, cache=warm_cache)
+    with pytest.warns(Warning):
+        again = warm.run_sweep(programs, policies, specs, config)
+    assert warm_cache.corrupt_rows == damaged
+    assert warm.live_runs == damaged
+    assert warm.cache_hits == cells - damaged
+    for name in golden:
+        for a, b in zip(golden[name], again[name], strict=True):
+            assert a.result == b.result
+
+
+_CHILD_SCRIPT = textwrap.dedent("""\
+    import os, signal, sys
+
+    from benchmarks.test_chaos_fig3 import fig3_grid
+    from repro.experiments.journal import SweepJournal
+    from repro.experiments.parallel import ParallelSweepExecutor
+
+    programs, policies, specs, config = fig3_grid()
+    completions = 0
+
+    def progress(line):
+        global completions
+        completions += 1
+        if completions == 7:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    executor = ParallelSweepExecutor(
+        1, journal=SweepJournal(sys.argv[1]))
+    executor.run_sweep(programs, policies, specs, config,
+                       progress=progress)
+""")
+
+
+def test_parent_kill_then_resume_reproduces_golden(tmp_path, golden):
+    journal_path = tmp_path / "interrupted.jsonl"
+    script = tmp_path / "killed_fig3.py"
+    script.write_text(_CHILD_SCRIPT)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)])
+    proc = subprocess.run(
+        [sys.executable, str(script), str(journal_path)],
+        cwd=REPO_ROOT, env=env, capture_output=True, timeout=300)
+    assert proc.returncode == -signal.SIGKILL, proc.stderr.decode()
+
+    completed = len(load_journal(journal_path).completed)
+    assert completed >= 7   # every acknowledged cell survived the kill
+
+    programs, policies, specs, config = fig3_grid()
+    resumed = ParallelSweepExecutor(
+        1, journal=SweepJournal(journal_path))
+    curves = resumed.run_sweep(programs, policies, specs, config)
+    resumed.journal.close()
+    for name in golden:
+        for a, b in zip(golden[name], curves[name], strict=True):
+            assert a.result == b.result
+    assert resumed.journal_hits == completed
+    assert resumed.live_runs == len(policies) * len(specs) - completed
+    _assert_matches_pinned(curves)

@@ -11,8 +11,14 @@
     flexfetch run grep+make --faults outage-rate=0.01 --strict
     flexfetch faults grep+make       # energy vs wireless outage rate
     flexfetch lint                   # determinism/units static analysis
+    flexfetch sweep fig3 --journal s.jsonl --retries 3 --timeout 120
+    flexfetch sweep fig3 --resume s.jsonl   # skip completed cells
+    flexfetch sweep fig3 --partial          # placeholders, exit 3
 
 ``python -m repro`` is equivalent.
+
+Exit codes: 0 success, 1 error, 2 usage, 3 partial sweep (some cells
+failed after retries; see the failure manifest).
 """
 
 from __future__ import annotations
@@ -27,6 +33,7 @@ from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
 from repro.core.session import SimulationSession
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import FIGURES, fault_panel
+from repro.experiments.parallel import SweepCellError
 from repro.experiments.report import (
     fault_panel_to_csv,
     render_fault_panel,
@@ -151,6 +158,81 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     if args.csv:
         print("# fault panel CSV")
         print(fault_panel_to_csv(panel))
+    return 0
+
+
+#: Exit code of a ``--partial`` sweep that finished with failed cells.
+EXIT_PARTIAL = 3
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Supervised, journaled, resumable figure sweep."""
+    import json as _json
+
+    from repro.experiments.journal import SweepJournal
+    from repro.experiments.parallel import (
+        ParallelSweepExecutor,
+        failure_manifest,
+    )
+    from repro.experiments.supervisor import RetryPolicy
+    from repro.faults.chaos import ChaosSpec
+
+    builder = FIGURES.get(args.figure)
+    if builder is None:
+        print(f"unknown figure {args.figure!r}; choose from"
+              f" {sorted(FIGURES)}", file=sys.stderr)
+        return 2
+    if args.resume and args.journal and args.resume != args.journal:
+        print("flexfetch: error: --resume and --journal name different"
+              " files; pass just --resume", file=sys.stderr)
+        return 2
+
+    config = ExperimentConfig(seed=args.seed)
+    progress = (lambda line: print(f"  {line}", file=sys.stderr)) \
+        if args.verbose else None
+    cache = None
+    if not args.no_cache:
+        from repro.experiments.cache import RunCache
+        cache = RunCache(args.cache_dir)
+    journal_path = args.resume or args.journal
+    journal = SweepJournal(journal_path) if journal_path else None
+    chaos = ChaosSpec.parse(args.chaos) if args.chaos else None
+    retry = RetryPolicy(max_retries=args.retries,
+                        backoff_base=args.backoff)
+    executor = ParallelSweepExecutor(
+        args.workers, cache=cache, retry=retry, timeout=args.timeout,
+        journal=journal, partial=args.partial, chaos=chaos)
+    try:
+        result = builder(config, panels=args.panel, progress=progress,
+                         executor=executor)
+    finally:
+        if journal is not None:
+            journal.close()
+    print(render_figure(result))
+
+    cells = executor.live_runs + executor.cache_hits + \
+        executor.journal_hits + len(executor.failures)
+    summary = (f"sweep {args.figure}: {cells} cells"
+               f" ({executor.live_runs} live, {executor.cache_hits}"
+               f" cached, {executor.journal_hits} journal)"
+               f" retries={sum(executor.retries.values())}"
+               f" respawns={executor.respawns}")
+    if cache is not None and cache.corrupt_rows:
+        summary += f" corrupt-cache-rows={cache.corrupt_rows}"
+    if executor.failures:
+        summary += f" FAILED={len(executor.failures)}"
+    print(summary, file=sys.stderr)
+
+    if executor.failures:
+        manifest_path = args.manifest or (
+            f"{journal_path}.failures.json" if journal_path
+            else "sweep-failures.json")
+        with open(manifest_path, "w", encoding="utf-8") as fh:
+            _json.dump(failure_manifest(executor.failures), fh,
+                       indent=1, sort_keys=True)
+        print(f"failure manifest written to {manifest_path}",
+              file=sys.stderr)
+        return EXIT_PARTIAL
     return 0
 
 
@@ -281,6 +363,47 @@ def build_parser() -> argparse.ArgumentParser:
     p_faults.add_argument("--verbose", action="store_true",
                           help="per-point progress on stderr")
 
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="supervised figure sweep: retries, timeouts, journaling,"
+             " resume, graceful degradation")
+    p_sweep.add_argument("figure", choices=sorted(FIGURES))
+    p_sweep.add_argument("--panel", default="ab",
+                         choices=["a", "b", "ab"],
+                         help="which panel(s) to run")
+    p_sweep.add_argument("--verbose", action="store_true",
+                         help="per-point progress on stderr")
+    add_sweep_flags(p_sweep)
+    p_sweep.add_argument("--journal", metavar="FILE",
+                         help="append-only crash-consistent journal of"
+                              " completed cells (JSONL)")
+    p_sweep.add_argument("--resume", metavar="FILE",
+                         help="resume from an existing journal,"
+                              " skipping completed cells bit-identically")
+    p_sweep.add_argument("--retries", type=int, default=2, metavar="K",
+                         help="retry budget per cell (default 2)")
+    p_sweep.add_argument("--backoff", type=float, default=0.25,
+                         metavar="S",
+                         help="base retry backoff seconds, doubled per"
+                              " attempt (default 0.25)")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         metavar="S",
+                         help="per-cell wall-clock timeout in seconds;"
+                              " hung workers are killed and the cell"
+                              " retried (needs --workers > 1)")
+    p_sweep.add_argument("--partial", action="store_true",
+                         help="finish the sweep despite permanently"
+                              " failed cells (placeholder points, a"
+                              " failure manifest, exit code 3)")
+    p_sweep.add_argument("--manifest", metavar="FILE",
+                         help="failure-manifest path (default"
+                              " <journal>.failures.json or"
+                              " sweep-failures.json)")
+    p_sweep.add_argument("--chaos", metavar="SPEC",
+                         help="fault injection for the orchestrator,"
+                              " e.g. 'kill-prob=0.5,corrupt-prob=0.3'"
+                              " (chaos testing)")
+
     p_inspect = sub.add_parser(
         "inspect", help="burst/think structure report of a scenario")
     p_inspect.add_argument("workload", choices=sorted(SCENARIOS))
@@ -332,9 +455,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         "trace": _cmd_trace,
         "inspect": _cmd_inspect,
         "lint": _cmd_lint,
+        "sweep": _cmd_sweep,
     }
     try:
         return handlers[args.command](args)
+    except SweepCellError as exc:
+        # A permanently failed sweep cell: show the worker's remote
+        # traceback (the chained __cause__ lost its frames crossing the
+        # process boundary) before the one-line diagnostic.
+        if exc.remote_traceback:
+            print(exc.remote_traceback, file=sys.stderr, end="")
+        print(f"flexfetch: error: {exc}", file=sys.stderr)
+        return 1
     except _USER_ERRORS as exc:
         message = str(exc).splitlines()[0] if str(exc) else \
             type(exc).__name__

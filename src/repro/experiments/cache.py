@@ -28,7 +28,10 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
+import os
+import warnings
 from enum import Enum
 from pathlib import Path
 from typing import Any
@@ -46,6 +49,22 @@ from repro.traces.trace import Trace
 #: (v2: fault and spindown configuration joined the key; every v1 row
 #: misses once and is re-simulated to an identical result.)
 CODE_VERSION_SALT = "flexfetch-sim-v2"
+
+
+#: Per-process sequence distinguishing concurrent tmp files.  Combined
+#: with the pid it makes every in-flight ``put`` write a unique path, so
+#: two sweeps sharing a cache directory can never interleave bytes into
+#: the same tmp file before the atomic ``replace``.
+_TMP_COUNTER = itertools.count()
+
+
+class RunCacheCorruptionWarning(UserWarning):
+    """A cache row was corrupt and silently fell back to a live run.
+
+    Emitted once per :class:`RunCache` instance; the per-sweep count is
+    available as :attr:`RunCache.corrupt_rows` and surfaces in the
+    sweep summary line.
+    """
 
 
 class UncacheableFactoryError(TypeError):
@@ -175,6 +194,9 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: corrupt/alien rows encountered (a subset of ``misses``).
+        self.corrupt_rows = 0
+        self._warned_corrupt = False
 
     # ------------------------------------------------------------------
     def key_for(self, programs: tuple[ProgramSpec, ...] | list[ProgramSpec],
@@ -203,8 +225,19 @@ class RunCache:
             self.misses += 1
             return None
         except (OSError, ValueError, TypeError, KeyError):
-            # Corrupted or alien file: fall back to a live simulation.
+            # Corrupted or alien file: fall back to a live simulation —
+            # but never silently.  The row is counted, surfaced in the
+            # sweep summary, and warned about once per cache instance.
             self.misses += 1
+            self.corrupt_rows += 1
+            if not self._warned_corrupt:
+                self._warned_corrupt = True
+                warnings.warn(
+                    f"run cache {self.root}: corrupt row"
+                    f" {path.name} treated as a miss (the cell is"
+                    " re-simulated; see RunCache.corrupt_rows for the"
+                    " per-sweep count)",
+                    RunCacheCorruptionWarning, stacklevel=2)
             return None
         self.hits += 1
         return result
@@ -218,9 +251,16 @@ class RunCache:
             "key": key,
             "result": dataclasses.asdict(result),
         }
-        tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True, indent=1),
-                       encoding="utf-8")
+        # A per-process unique tmp name: ``with_suffix(".tmp")`` was
+        # deterministic, so two sweeps sharing a cache dir could
+        # interleave writes into the same tmp file.  fsync before the
+        # atomic replace so a visible row is never half-written even
+        # across a crash.
+        tmp = self.root / f"{key}.{os.getpid()}.{next(_TMP_COUNTER)}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(payload, sort_keys=True, indent=1))
+            fh.flush()
+            os.fsync(fh.fileno())
         tmp.replace(path)
         self.stores += 1
         return path

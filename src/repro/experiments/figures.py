@@ -34,6 +34,7 @@ from repro.core.telemetry import RunResult
 from repro.core.workload import ProgramSpec
 from repro.experiments.cache import RunCache
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.parallel import ParallelSweepExecutor
 from repro.experiments.runner import (
     PolicyFactory,
     ProgramSet,
@@ -133,17 +134,21 @@ def _run_figure(figure_id: str, title: str,
                 *, panels: str = "ab",
                 progress: Callable[[str], None] | None = None,
                 workers: int = 1,
-                cache: RunCache | None = None) -> FigureResult:
+                cache: RunCache | None = None,
+                executor: ParallelSweepExecutor | None = None
+                ) -> FigureResult:
     result = FigureResult(figure_id=figure_id, title=title,
                           workload=workload_name)
     if "a" in panels:
         result.by_latency = run_sweep(
             programs_factory, policies, config.latency_points(), config,
-            progress=progress, workers=workers, cache=cache)
+            progress=progress, workers=workers, cache=cache,
+            executor=executor)
     if "b" in panels:
         result.by_bandwidth = run_sweep(
             programs_factory, policies, config.bandwidth_points(), config,
-            progress=progress, workers=workers, cache=cache)
+            progress=progress, workers=workers, cache=cache,
+            executor=executor)
     return result
 
 
@@ -152,7 +157,8 @@ def _run_figure(figure_id: str, title: str,
 # ----------------------------------------------------------------------
 def figure1(config: ExperimentConfig | None = None, *, panels: str = "ab",
             progress: Callable[[str], None] | None = None,
-            workers: int = 1, cache: RunCache | None = None) -> FigureResult:
+            workers: int = 1, cache: RunCache | None = None,
+            executor: ParallelSweepExecutor | None = None) -> FigureResult:
     """grep+make energy vs WNIC latency (a) and bandwidth (b)."""
     config = config or ExperimentConfig()
     trace = generate_grep_make(config.seed)
@@ -161,7 +167,8 @@ def figure1(config: ExperimentConfig | None = None, *, panels: str = "ab",
         "fig1", "grep+make: energy vs WNIC latency/bandwidth",
         ProgramSet((ProgramSpec(trace),)), trace.name,
         _standard_policies(profile, config), config,
-        panels=panels, progress=progress, workers=workers, cache=cache)
+        panels=panels, progress=progress, workers=workers, cache=cache,
+        executor=executor)
 
 
 # ----------------------------------------------------------------------
@@ -169,7 +176,8 @@ def figure1(config: ExperimentConfig | None = None, *, panels: str = "ab",
 # ----------------------------------------------------------------------
 def figure2(config: ExperimentConfig | None = None, *, panels: str = "ab",
             progress: Callable[[str], None] | None = None,
-            workers: int = 1, cache: RunCache | None = None) -> FigureResult:
+            workers: int = 1, cache: RunCache | None = None,
+            executor: ParallelSweepExecutor | None = None) -> FigureResult:
     """mplayer energy vs WNIC latency (a) and bandwidth (b)."""
     config = config or ExperimentConfig()
     trace = generate_mplayer(config.seed)
@@ -178,7 +186,8 @@ def figure2(config: ExperimentConfig | None = None, *, panels: str = "ab",
         "fig2", "mplayer: energy vs WNIC latency/bandwidth",
         ProgramSet((ProgramSpec(trace),)), trace.name,
         _standard_policies(profile, config), config,
-        panels=panels, progress=progress, workers=workers, cache=cache)
+        panels=panels, progress=progress, workers=workers, cache=cache,
+        executor=executor)
 
 
 # ----------------------------------------------------------------------
@@ -186,7 +195,8 @@ def figure2(config: ExperimentConfig | None = None, *, panels: str = "ab",
 # ----------------------------------------------------------------------
 def figure3(config: ExperimentConfig | None = None, *, panels: str = "ab",
             progress: Callable[[str], None] | None = None,
-            workers: int = 1, cache: RunCache | None = None) -> FigureResult:
+            workers: int = 1, cache: RunCache | None = None,
+            executor: ParallelSweepExecutor | None = None) -> FigureResult:
     """Thunderbird energy vs WNIC latency (a) and bandwidth (b)."""
     config = config or ExperimentConfig()
     trace = generate_thunderbird(config.seed)
@@ -195,7 +205,8 @@ def figure3(config: ExperimentConfig | None = None, *, panels: str = "ab",
         "fig3", "Thunderbird: energy vs WNIC latency/bandwidth",
         ProgramSet((ProgramSpec(trace),)), trace.name,
         _standard_policies(profile, config), config,
-        panels=panels, progress=progress, workers=workers, cache=cache)
+        panels=panels, progress=progress, workers=workers, cache=cache,
+        executor=executor)
 
 
 # ----------------------------------------------------------------------
@@ -203,7 +214,8 @@ def figure3(config: ExperimentConfig | None = None, *, panels: str = "ab",
 # ----------------------------------------------------------------------
 def figure4(config: ExperimentConfig | None = None, *, panels: str = "ab",
             progress: Callable[[str], None] | None = None,
-            workers: int = 1, cache: RunCache | None = None) -> FigureResult:
+            workers: int = 1, cache: RunCache | None = None,
+            executor: ParallelSweepExecutor | None = None) -> FigureResult:
     """grep+make ∥ xmms, including the FlexFetch-static ablation.
 
     xmms is a *non-profiled* program whose mp3 files exist only on the
@@ -219,7 +231,8 @@ def figure4(config: ExperimentConfig | None = None, *, panels: str = "ab",
                     ProgramSpec(bg, profiled=False, disk_pinned=True))),
         f"{fg.name} | {bg.name}",
         _standard_policies(profile, config, include_static=True), config,
-        panels=panels, progress=progress, workers=workers, cache=cache)
+        panels=panels, progress=progress, workers=workers, cache=cache,
+        executor=executor)
 
 
 # ----------------------------------------------------------------------
@@ -227,7 +240,8 @@ def figure4(config: ExperimentConfig | None = None, *, panels: str = "ab",
 # ----------------------------------------------------------------------
 def figure5(config: ExperimentConfig | None = None, *, panels: str = "ab",
             progress: Callable[[str], None] | None = None,
-            workers: int = 1, cache: RunCache | None = None) -> FigureResult:
+            workers: int = 1, cache: RunCache | None = None,
+            executor: ParallelSweepExecutor | None = None) -> FigureResult:
     """Acroread search run driven by the stale casual-reading profile."""
     config = config or ExperimentConfig()
     search = generate_acroread_search_run(config.seed)
@@ -236,7 +250,8 @@ def figure5(config: ExperimentConfig | None = None, *, panels: str = "ab",
         "fig5", "Acroread: energy with an out-of-date profile",
         ProgramSet((ProgramSpec(search),)), search.name,
         _standard_policies(stale, config, include_static=True), config,
-        panels=panels, progress=progress, workers=workers, cache=cache)
+        panels=panels, progress=progress, workers=workers, cache=cache,
+        executor=executor)
 
 
 # ----------------------------------------------------------------------

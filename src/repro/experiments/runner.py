@@ -23,6 +23,7 @@ from repro.units import BytesPerSecond, Joules, Seconds
 
 if TYPE_CHECKING:
     from repro.experiments.cache import RunCache
+    from repro.experiments.parallel import ParallelSweepExecutor
 
 #: Builds a fresh policy instance for one run.
 PolicyFactory = Callable[[], Policy]
@@ -124,7 +125,8 @@ def run_sweep(programs_factory: Callable[[], list[ProgramSpec]],
               *, progress: Callable[[str], None] | None = None,
               workers: int = 1,
               cache: RunCache | None = None,
-              faults: FaultSpec | None = None
+              faults: FaultSpec | None = None,
+              executor: ParallelSweepExecutor | None = None
               ) -> dict[str, list[SweepPoint]]:
     """Run every policy across every link point.
 
@@ -138,8 +140,14 @@ def run_sweep(programs_factory: Callable[[], list[ProgramSpec]],
     *results* stay in sweep order but progress lines arrive in
     completion order.  ``faults`` (a picklable spec, not a schedule)
     applies the same fault processes to every cell and participates in
-    the cache key.
+    the cache key.  A pre-built ``executor`` overrides ``workers`` and
+    ``cache`` — the seam through which supervision, journaling, and
+    partial-mode sweeps (``flexfetch sweep``) plug in.
     """
+    if executor is not None:
+        return executor.run_sweep(programs_factory, policy_factories,
+                                  wnic_specs, config, progress=progress,
+                                  faults=faults)
     if workers != 1 or cache is not None:
         # Local import: the runner must stay importable without pulling
         # in multiprocessing machinery for plain serial sweeps.

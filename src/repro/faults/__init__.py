@@ -9,6 +9,7 @@ verifies physical invariants while the (now much more adversarial)
 replay runs.
 """
 
+from repro.faults.chaos import CacheChaos, ChaosInjector, ChaosSpec
 from repro.faults.invariants import (
     InvariantChecker,
     SimulationInvariantError,
@@ -24,6 +25,9 @@ from repro.faults.schedule import (
 
 __all__ = [
     "FALLBACK_RATES_BPS",
+    "CacheChaos",
+    "ChaosInjector",
+    "ChaosSpec",
     "FaultSchedule",
     "FaultSpec",
     "FaultSpecError",

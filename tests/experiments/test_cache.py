@@ -1,6 +1,8 @@
 """Unit tests for the content-addressed run cache."""
 
+import os
 from dataclasses import replace
+from pathlib import Path
 
 import pytest
 
@@ -8,6 +10,7 @@ from repro.core.policies import DiskOnlyPolicy, WnicOnlyPolicy
 from repro.core.simulator import ProgramSpec
 from repro.experiments.cache import (
     RunCache,
+    RunCacheCorruptionWarning,
     UncacheableFactoryError,
     policy_token,
     run_key,
@@ -201,6 +204,63 @@ class TestRunCache:
                           faults=FaultSpec(outage_rate=0.05,
                                            outage_mean=5.0))
         assert (faulted.cache_hits, faulted.live_runs) == (0, 1)
+
+    def test_put_tmp_names_are_unique_per_call(self, tmp_path, config,
+                                               programs, monkeypatch):
+        """Regression: ``put`` once used a fixed ``<key>.tmp`` name, so
+        two sweeps sharing a cache dir could interleave bytes into the
+        same tmp file before the atomic replace."""
+        seen: list[str] = []
+        real_replace = Path.replace
+
+        def spy(self, target):
+            seen.append(self.name)
+            return real_replace(self, target)
+
+        monkeypatch.setattr(Path, "replace", spy)
+        cache = RunCache(tmp_path)
+        key = cache.key_for(programs, DiskOnlyPolicy, config.wnic_spec,
+                            config)
+        result = self._point(config, programs).result
+        cache.put(key, result)
+        cache.put(key, result)
+        assert len(set(seen)) == 2          # never the same tmp path
+        assert all(f".{os.getpid()}." in name for name in seen)
+
+    def test_put_leaves_no_tmp_files(self, tmp_path, config, programs):
+        cache = RunCache(tmp_path)
+        key = cache.key_for(programs, DiskOnlyPolicy, config.wnic_spec,
+                            config)
+        cache.put(key, self._point(config, programs).result)
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert cache.get(key) is not None
+
+    def test_corrupt_rows_counted_and_warned_once(self, tmp_path, config,
+                                                  programs):
+        cache = RunCache(tmp_path)
+        key = cache.key_for(programs, DiskOnlyPolicy, config.wnic_spec,
+                            config)
+        cache.path_for(key).parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for(key).write_text("garbage", encoding="utf-8")
+        with pytest.warns(RunCacheCorruptionWarning):
+            assert cache.get(key) is None
+        assert cache.corrupt_rows == 1
+        # Subsequent corrupt reads count but do not warn again.
+        import warnings as warnings_mod
+        with warnings_mod.catch_warnings(record=True) as caught:
+            warnings_mod.simplefilter("always")
+            assert cache.get(key) is None
+        assert cache.corrupt_rows == 2
+        assert not any(issubclass(w.category, RunCacheCorruptionWarning)
+                       for w in caught)
+
+    def test_missing_entry_is_not_a_corrupt_row(self, tmp_path, config,
+                                                programs):
+        cache = RunCache(tmp_path)
+        key = cache.key_for(programs, DiskOnlyPolicy, config.wnic_spec,
+                            config)
+        assert cache.get(key) is None
+        assert cache.corrupt_rows == 0
 
     def test_cached_result_is_bit_identical(self, tmp_path, config,
                                             programs):

@@ -1,0 +1,178 @@
+"""Tests for the supervised worker pool and its retry policy."""
+
+import time
+
+import pytest
+
+from repro.experiments.supervisor import (
+    NO_RETRY,
+    CellTimeoutError,
+    RetryPolicy,
+    SupervisedPool,
+    WorkerCrashError,
+)
+from repro.faults.chaos import ChaosInjector, ChaosSpec
+
+#: Small backoff for tests that exercise retries without real waiting.
+FAST_RETRY = RetryPolicy(max_retries=2, backoff_base=0.01,
+                         jitter_frac=0.0)
+
+
+def _double(job):
+    return job * 2
+
+
+def _boom(job):
+    raise ValueError(f"boom on {job}")
+
+
+def _sleepy(job):
+    time.sleep(job)
+    return job
+
+
+class TestRetryPolicy:
+    def test_delay_is_deterministic(self):
+        policy = RetryPolicy()
+        assert policy.delay(7, 3, 1) == policy.delay(7, 3, 1)
+
+    def test_delay_doubles_per_attempt(self):
+        policy = RetryPolicy(backoff_base=1.0, jitter_frac=0.0)
+        assert policy.delay(0, 0, 1) == 1.0
+        assert policy.delay(0, 0, 2) == 2.0
+        assert policy.delay(0, 0, 3) == 4.0
+
+    def test_delay_is_capped(self):
+        policy = RetryPolicy(backoff_base=1.0, backoff_cap=3.0,
+                             jitter_frac=0.0)
+        assert policy.delay(0, 0, 10) == 3.0
+
+    def test_jitter_stays_within_fraction(self):
+        policy = RetryPolicy(backoff_base=1.0, jitter_frac=0.25)
+        for index in range(20):
+            delay = policy.delay(7, index, 1)
+            assert 1.0 <= delay <= 1.25
+
+    def test_jitter_decorrelated_across_cells(self):
+        policy = RetryPolicy(backoff_base=1.0, jitter_frac=0.5)
+        delays = {policy.delay(7, index, 1) for index in range(10)}
+        assert len(delays) > 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_retries": -1},
+        {"backoff_base": -0.1},
+        {"backoff_cap": -1.0},
+        {"jitter_frac": 1.5},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_no_retry_fails_first_attempt(self):
+        assert NO_RETRY.max_retries == 0
+
+
+class TestSupervisedPool:
+    def test_empty_jobs(self):
+        assert SupervisedPool(2, _double).run({}) == ({}, [])
+
+    def test_all_results_by_index(self):
+        pool = SupervisedPool(3, _double)
+        results, failures = pool.run({i: i for i in range(8)})
+        assert failures == []
+        assert results == {i: i * 2 for i in range(8)}
+        assert pool.respawns == 0
+
+    def test_exception_fails_cell_without_retry(self):
+        pool = SupervisedPool(2, _boom)
+        results, failures = pool.run({0: "a", 1: "b"})
+        assert results == {}
+        assert [f.index for f in failures] == [0, 1]
+        for failure in failures:
+            assert len(failure.attempts) == 1
+            assert failure.attempts[0].reason == "exception"
+            assert isinstance(failure.cause, ValueError)
+            assert "boom on" in failure.remote_traceback
+            assert "ValueError" in failure.remote_traceback
+
+    def test_exception_retries_then_fails(self):
+        pool = SupervisedPool(1, _boom, retry=FAST_RETRY)
+        _, failures = pool.run({0: "x"})
+        assert len(failures) == 1
+        assert len(failures[0].attempts) == 3   # initial + 2 retries
+        assert pool.retries["exception"] == 2
+        assert [a.attempt for a in failures[0].attempts] == [1, 2, 3]
+        # Only retried attempts carry a backoff delay.
+        assert all(a.delay > 0 for a in failures[0].attempts[:-1])
+        assert failures[0].attempts[-1].delay == 0.0
+
+    def test_killed_worker_is_respawned_and_cell_retried(self):
+        chaos = ChaosInjector(ChaosSpec(kill_prob=1.0), seed=7)
+        pool = SupervisedPool(2, _double, retry=FAST_RETRY, seed=7,
+                              chaos=chaos)
+        results, failures = pool.run({i: i for i in range(4)})
+        assert failures == []
+        assert results == {i: i * 2 for i in range(4)}
+        assert pool.retries["worker-died"] == 4
+        assert pool.respawns >= 4
+
+    def test_worker_death_without_retry_is_a_failure(self):
+        chaos = ChaosInjector(ChaosSpec(kill_prob=1.0), seed=7)
+        pool = SupervisedPool(1, _double, seed=7, chaos=chaos)
+        results, failures = pool.run({0: 1})
+        assert results == {}
+        assert len(failures) == 1
+        assert failures[0].attempts[0].reason == "worker-died"
+        assert isinstance(failures[0].cause, WorkerCrashError)
+
+    def test_hung_cell_times_out_and_fails(self):
+        pool = SupervisedPool(1, _sleepy, timeout=0.3)
+        results, failures = pool.run({0: 30.0})
+        assert results == {}
+        assert len(failures) == 1
+        assert failures[0].attempts[0].reason == "timeout"
+        assert isinstance(failures[0].cause, CellTimeoutError)
+        assert pool.respawns == 1
+
+    def test_hang_then_clean_retry_succeeds(self):
+        # Chaos hangs only attempt 1 (max_hit_attempts=1); the retried
+        # attempt runs clean and completes within the timeout.
+        chaos = ChaosInjector(ChaosSpec(hang_prob=1.0, hang_seconds=30.0),
+                              seed=7)
+        pool = SupervisedPool(2, _double, retry=FAST_RETRY, timeout=0.5,
+                              seed=7, chaos=chaos)
+        results, failures = pool.run({i: i for i in range(3)})
+        assert failures == []
+        assert results == {i: i * 2 for i in range(3)}
+        assert pool.retries["timeout"] == 3
+        assert pool.respawns >= 3
+
+    def test_mixed_healthy_and_failing_cells(self):
+        def flaky(job):
+            if job < 0:
+                raise ValueError(f"boom on {job}")
+            return job * 2
+
+        pool = SupervisedPool(2, flaky)
+        results, failures = pool.run({0: 5, 1: -1, 2: 7})
+        assert results == {0: 10, 2: 14}
+        assert [f.index for f in failures] == [1]
+
+    def test_on_hooks_fire(self):
+        starts, retries, done = [], [], []
+        chaos = ChaosInjector(ChaosSpec(kill_prob=1.0), seed=7)
+        pool = SupervisedPool(1, _double, retry=FAST_RETRY, seed=7,
+                              chaos=chaos,
+                              on_start=lambda i, a: starts.append((i, a)),
+                              on_retry=lambda i, r: retries.append(r),
+                              on_result=lambda i, r: done.append((i, r)))
+        pool.run({0: 3})
+        assert starts == [(0, 1), (0, 2)]
+        assert [r.reason for r in retries] == ["worker-died"]
+        assert done == [(0, 6)]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            SupervisedPool(0, _double)
+        with pytest.raises(ValueError):
+            SupervisedPool(1, _double, timeout=0.0)

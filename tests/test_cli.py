@@ -1,8 +1,45 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import EXIT_PARTIAL, build_parser, main
+from repro.core.policies import DiskOnlyPolicy
+from repro.core.simulator import ProgramSpec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import FIGURES, FigureResult
+from repro.experiments.runner import ProgramSet, run_sweep
+from tests.conftest import make_trace
+
+
+class _BoomFactory:
+    """Policy factory that always fails (sweep failure-path tests)."""
+
+    def __call__(self):
+        raise RuntimeError("boom in worker")
+
+
+def _tiny_figure(factories):
+    """A FIGURES-compatible builder over a 1x2 grid of tiny cells."""
+
+    def build(config, *, panels="ab", progress=None, workers=1,
+              cache=None, executor=None):
+        tiny = ExperimentConfig(seed=config.seed,
+                                latency_sweep=(0.0, 0.010),
+                                bandwidth_sweep_bps=(11e6 / 8,))
+        trace = make_trace([(1, 0, 65536, "read", 0.0),
+                            (1, 65536, 65536, "read", 2.0)],
+                           name="tiny", file_sizes={1: 2 * 65536})
+        result = FigureResult(figure_id="tiny", title="tiny sweep",
+                              workload="tiny")
+        result.by_latency = run_sweep(
+            ProgramSet((ProgramSpec(trace),)), factories,
+            tiny.latency_points(), tiny, progress=progress,
+            workers=workers, cache=cache, executor=executor)
+        return result
+
+    return build
 
 
 class TestParser:
@@ -110,6 +147,102 @@ class TestFaultFlags:
         assert "FlexFetch" in out
 
 
+class TestSweepCommand:
+    def test_sweep_parser_flags(self, tmp_path):
+        args = build_parser().parse_args(
+            ["sweep", "fig3", "--panel", "a", "--workers", "2",
+             "--journal", str(tmp_path / "j.jsonl"), "--retries", "3",
+             "--backoff", "0.5", "--timeout", "120", "--partial",
+             "--chaos", "kill-prob=0.5",
+             "--manifest", str(tmp_path / "m.json")])
+        assert args.command == "sweep"
+        assert args.figure == "fig3"
+        assert args.retries == 3
+        assert args.backoff == 0.5
+        assert args.timeout == 120.0
+        assert args.partial
+        assert args.chaos == "kill-prob=0.5"
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "fig1"])
+        assert args.retries == 2
+        assert args.backoff == 0.25
+        assert args.timeout is None
+        assert not args.partial
+        assert args.journal is None and args.resume is None
+
+    def test_sweep_runs_and_journals(self, tmp_path, capsys,
+                                     monkeypatch):
+        monkeypatch.setitem(FIGURES, "tiny", _tiny_figure(
+            {"Disk-only": DiskOnlyPolicy}))
+        journal = tmp_path / "sweep.jsonl"
+        assert main(["sweep", "tiny", "--no-cache",
+                     "--journal", str(journal)]) == 0
+        captured = capsys.readouterr()
+        assert "tiny sweep" in captured.out
+        assert "2 cells (2 live, 0 cached, 0 journal)" in captured.err
+        from repro.experiments.journal import load_journal
+        assert len(load_journal(journal).completed) == 2
+
+    def test_sweep_resume_skips_completed(self, tmp_path, capsys,
+                                          monkeypatch):
+        monkeypatch.setitem(FIGURES, "tiny", _tiny_figure(
+            {"Disk-only": DiskOnlyPolicy}))
+        journal = tmp_path / "sweep.jsonl"
+        assert main(["sweep", "tiny", "--no-cache",
+                     "--journal", str(journal)]) == 0
+        first = capsys.readouterr().out
+        assert main(["sweep", "tiny", "--no-cache",
+                     "--resume", str(journal)]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == first   # bit-identical rendering
+        assert "2 cells (0 live, 0 cached, 2 journal)" in captured.err
+
+    def test_sweep_partial_exits_3_with_manifest(self, tmp_path, capsys,
+                                                 monkeypatch):
+        monkeypatch.setitem(FIGURES, "tiny", _tiny_figure(
+            {"Disk-only": DiskOnlyPolicy, "Boom": _BoomFactory()}))
+        manifest = tmp_path / "failures.json"
+        assert main(["sweep", "tiny", "--no-cache", "--partial",
+                     "--retries", "1", "--backoff", "0.01",
+                     "--manifest", str(manifest)]) == EXIT_PARTIAL
+        captured = capsys.readouterr()
+        assert "FAILED=2" in captured.err
+        assert str(manifest) in captured.err
+        payload = json.loads(manifest.read_text())
+        assert payload["failed_cells"] == 2
+        for entry in payload["failures"]:
+            assert entry["curve"] == "Boom"
+            assert len(entry["attempts"]) == 2   # initial + 1 retry
+            assert "boom in worker" in entry["attempts"][0]["traceback"]
+
+    def test_sweep_failure_shows_remote_traceback(self, capsys,
+                                                  monkeypatch):
+        monkeypatch.setitem(FIGURES, "tiny", _tiny_figure(
+            {"Boom": _BoomFactory()}))
+        assert main(["sweep", "tiny", "--no-cache",
+                     "--retries", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "boom in worker" in err          # the remote traceback
+        assert "flexfetch: error: sweep cell failed" in err
+
+    def test_sweep_retries_recover_flaky_cells(self, tmp_path, capsys,
+                                               monkeypatch):
+        monkeypatch.setitem(FIGURES, "tiny", _tiny_figure(
+            {"Disk-only": DiskOnlyPolicy}))
+        assert main(["sweep", "tiny", "--cache-dir",
+                     str(tmp_path / "cache"), "--chaos",
+                     "corrupt-prob=1.0"]) == 0
+        capsys.readouterr()
+        # Warm pass over chaos-damaged rows: corrupt rows surface in the
+        # summary and every cell re-simulates.
+        assert main(["sweep", "tiny", "--cache-dir",
+                     str(tmp_path / "cache")]) == 0
+        err = capsys.readouterr().err
+        assert "corrupt-cache-rows=2" in err
+        assert "2 live" in err
+
+
 class TestExitCodes:
     """Every failure path exits nonzero with a one-line message —
     never a raw traceback."""
@@ -152,6 +285,20 @@ class TestExitCodes:
         with pytest.raises(SystemExit) as info:
             main(["frobnicate"])
         assert info.value.code == 2
+
+    def test_sweep_conflicting_journal_flags_exit_2(self, tmp_path,
+                                                    capsys):
+        assert main(["sweep", "fig1", "--no-cache",
+                     "--journal", str(tmp_path / "a.jsonl"),
+                     "--resume", str(tmp_path / "b.jsonl")]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_sweep_bad_chaos_spec_exits_1(self, capsys):
+        assert main(["sweep", "fig1", "--no-cache",
+                     "--chaos", "bogus=1"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("flexfetch: error:")
+        assert "Traceback" not in err
 
     def test_trace_validation_error_is_one_line(self, capsys):
         """A TraceValidationError escaping a handler becomes the
