@@ -3,8 +3,16 @@
 Runs the Figure-3 reduced grid (the same cells ``test_fig3.py`` pins to
 golden energies) three ways — serial, parallel workers, warm run cache —
 asserts all three produce bit-identical curves that match the pinned
-golden energies, and writes the timings to ``BENCH_sweep.json`` at the
-repo root (uploaded as a CI artifact by the perf-smoke job).
+golden energies, and rewrites ``BENCH_sweep.json`` at the repo root
+(uploaded as a CI artifact by the perf-smoke job).
+
+The committed ``BENCH_sweep.json`` doubles as the perf baseline: before
+rewriting it, the run compares its parallel speedup against the
+recorded one and fails if it regressed below ``SPEEDUP_SLACK`` of the
+baseline.  The gate only applies when ``cpu_count`` matches the
+baseline's — a speedup measured on an 8-core runner says nothing about
+a single-core container.  Absolute seconds are never gated; they track
+the host, not the code.
 
 Worker count comes from ``BENCH_WORKERS`` (default 4).  The recorded
 ``cpu_count`` qualifies the parallel speedup: on a single-core runner
@@ -13,6 +21,7 @@ the parallel mode cannot beat serial and the number documents why.
 
 import json
 import os
+import pickle
 import time
 from pathlib import Path
 
@@ -25,13 +34,23 @@ from repro.core.profile import profile_from_trace
 from repro.core.workload import ProgramSpec
 from repro.experiments.cache import RunCache
 from repro.experiments.figures import FlexFetchFactory
-from repro.experiments.parallel import ParallelSweepExecutor
+from repro.experiments.parallel import (
+    ParallelSweepExecutor,
+    ProgramRef,
+    SweepJob,
+    _prepare_factory,
+)
 from repro.experiments.runner import ProgramSet
 from repro.traces.synth import generate_thunderbird
 from repro.units import approx_eq
 
 BENCH_PATH = Path(__file__).resolve().parents[2] / "BENCH_sweep.json"
 GOLDEN_PATH = RESULTS_DIR / "golden.json"
+
+# A new measurement may fall to 70% of the recorded speedup before the
+# smoke fails — wide enough for shared-runner noise, tight enough to
+# catch the dispatch path growing an O(trace) pickle again.
+SPEEDUP_SLACK = 0.7
 
 
 @pytest.fixture(scope="module")
@@ -49,7 +68,7 @@ def sweep_inputs(bench_config):
     }
     panels = {"by_latency": bench_config.latency_points(),
               "by_bandwidth": bench_config.bandwidth_points()}
-    return ProgramSet((ProgramSpec(trace),)), policies, panels
+    return ProgramSet((ProgramSpec(trace).prepared(),)), policies, panels
 
 
 def _timed_sweep(executor, programs, policies, panels, config):
@@ -80,11 +99,50 @@ def _assert_matches_golden(curves, bench_config):
                     f"{panel}/{name}[{i}]: {g} != pinned {w}"
 
 
+def _job_pickle_bytes(programs, policies, bench_config):
+    """Size of the largest per-cell job the pool would ship."""
+    refs = tuple(ProgramRef.of(spec) for spec in programs.specs)
+    return max(
+        len(pickle.dumps(SweepJob(
+            index=0, curve=name, programs=refs,
+            policy_factory=_prepare_factory(factory),
+            wnic_spec=bench_config.wnic_spec, config=bench_config)))
+        for name, factory in policies.items())
+
+
+def _load_baseline():
+    if not BENCH_PATH.exists():
+        return None
+    try:
+        return json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def _gate_against_baseline(report, baseline):
+    """Fail only on a speedup regression, never on absolute seconds."""
+    if baseline is None:
+        return "no baseline recorded"
+    if baseline.get("cpu_count") != report["cpu_count"]:
+        return (f"baseline cpu_count={baseline.get('cpu_count')} != "
+                f"current {report['cpu_count']}; gate skipped")
+    recorded = baseline.get("speedup_parallel_vs_serial")
+    if not isinstance(recorded, (int, float)) or recorded <= 0:
+        return "baseline has no usable speedup"
+    floor = recorded * SPEEDUP_SLACK
+    measured = report["speedup_parallel_vs_serial"]
+    assert measured >= floor, (
+        f"parallel speedup regressed: measured {measured:.2f}x < "
+        f"{floor:.2f}x (= {SPEEDUP_SLACK} x recorded {recorded:.2f}x)")
+    return f"speedup {measured:.2f}x >= floor {floor:.2f}x"
+
+
 def test_sweep_modes(sweep_inputs, bench_config, tmp_path_factory):
     programs, policies, panels = sweep_inputs
     cells = sum(len(specs) for specs in panels.values()) * len(policies)
     workers = int(os.environ.get("BENCH_WORKERS", "4"))
     cache_dir = tmp_path_factory.mktemp("run-cache")
+    baseline = _load_baseline()
 
     serial_curves, serial_s = _timed_sweep(
         ParallelSweepExecutor(1), programs, policies, panels,
@@ -121,7 +179,11 @@ def test_sweep_modes(sweep_inputs, bench_config, tmp_path_factory):
         "parallel_live_runs": cold.live_runs,
         "warm_live_runs": warm.live_runs,
         "warm_cache_hits": warm.cache_hits,
+        "job_pickle_bytes": _job_pickle_bytes(programs, policies,
+                                              bench_config),
     }
+    verdict = _gate_against_baseline(report, baseline)
+    report["baseline_gate"] = verdict
     BENCH_PATH.write_text(json.dumps(report, indent=2) + "\n",
                           encoding="utf-8")
     print(f"\nwrote {BENCH_PATH}:")

@@ -61,7 +61,7 @@ def fig3_grid():
                                       loss_rate=config.loss_rate,
                                       stage_length=config.stage_length),
     }
-    return ProgramSet((ProgramSpec(trace),)), policies, \
+    return ProgramSet((ProgramSpec(trace).prepared(),)), policies, \
         config.latency_points(), config
 
 

@@ -27,6 +27,7 @@ from repro.kernel.path import KernelPath
 from repro.kernel.scheduler import CScanScheduler
 from repro.kernel.vfs import VirtualFileSystem
 from repro.sim.clock import MB
+from repro.traces.compile import CompiledTrace
 from repro.traces.trace import Trace
 from repro.units import Bytes, Seconds
 
@@ -62,8 +63,20 @@ class MobileSystem:
         """The device service a request routed to ``source`` runs on."""
         return self._services[source]
 
-    def register_trace(self, trace: Trace) -> None:
-        """Make a trace's files known to the VFS and the disk layout."""
+    def register_trace(self, trace: Trace | CompiledTrace) -> None:
+        """Make a trace's files known to the VFS and the disk layout.
+
+        Registration order is ascending inode either way: the compiled
+        file table is stored inode-sorted at compile time, matching the
+        sort the record-level path performs here — layout placement
+        (and therefore every seek time) depends on that order.
+        """
+        if isinstance(trace, CompiledTrace):
+            inodes, sizes = trace.files_view()
+            for inode, size in zip(inodes, sizes, strict=True):
+                self.vfs.register_file(inode, size)
+                self.layout.add_file(inode, max(size, 1))
+            return
         for info in sorted(trace.files.values(), key=lambda f: f.inode):
             self.vfs.register_file(info.inode, info.size_bytes)
             self.layout.add_file(info.inode, max(info.size_bytes, 1))

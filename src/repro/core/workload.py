@@ -7,61 +7,154 @@ after request *i* completes, so slow devices stretch the run (and the
 performance-loss rule has teeth).  The driver owns only the replay
 cursor — what happens to each syscall (kernel path, routing, devices)
 is the session's wiring of the layers below.
+
+Replay is compile-once / simulate-many: a :class:`ProgramSpec` holds
+either a record-level :class:`~repro.traces.trace.Trace` (convenient to
+construct) or its **prepared** form, a
+:class:`~repro.traces.compile.CompiledTrace` whose data records, think
+times and file table were lowered once into immutable columnar arrays.
+Drivers read the compiled columns through zero-copy ``memoryview``\\ s,
+so building a driver — and therefore a
+:class:`~repro.core.session.SimulationSession` — is O(1) in trace
+length.  A record-level spec is compiled on first use (memoised per
+trace object), so both forms replay bit-identically.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, replace
 
-from repro.traces.record import SyscallRecord
+from repro.traces.compile import OPS_BY_CODE, CompiledTrace, compile_trace
+from repro.traces.record import OpType
 from repro.traces.trace import Trace
+from repro.units import Bytes, Seconds
+
+#: module-level warn-once latch for deprecated record-level specs
+#: crossing the sweep/cache boundary (see :func:`prepare_specs`).
+_warned_auto_compile = False
 
 
 @dataclass(frozen=True, slots=True)
 class ProgramSpec:
     """One program participating in a replay.
 
-    ``profiled`` — FlexFetch has (or builds) a profile for it;
-    ``disk_pinned`` — its data exists only on the local disk (no remote
-    replica), so every request must go to the disk.
+    ``trace`` is either a record-level :class:`Trace` or a
+    :class:`CompiledTrace`; :meth:`prepared` returns the spec in
+    compiled form.  ``profiled`` — FlexFetch has (or builds) a profile
+    for it; ``disk_pinned`` — its data exists only on the local disk
+    (no remote replica), so every request must go to the disk.
     """
 
-    trace: Trace
+    trace: Trace | CompiledTrace
     profiled: bool = True
     disk_pinned: bool = False
 
+    @property
+    def is_prepared(self) -> bool:
+        """Whether the trace is already in compiled form."""
+        return isinstance(self.trace, CompiledTrace)
+
+    def prepared(self) -> ProgramSpec:
+        """This spec with its trace compiled (self if already so)."""
+        if self.is_prepared:
+            return self
+        return replace(self, trace=compile_trace(self.trace))
+
+    @property
+    def compiled(self) -> CompiledTrace:
+        """The compiled trace (compiling on the fly if record-level)."""
+        return compile_trace(self.trace)
+
+
+def prepare_specs(specs: tuple[ProgramSpec, ...] | list[ProgramSpec],
+                  ) -> tuple[ProgramSpec, ...]:
+    """Compiled forms of ``specs``, warning once on record-level input.
+
+    The sweep pipeline (parallel executor, run cache) keys and ships
+    traces by compiled digest; record-level specs reaching it are
+    deprecated and auto-compiled here with a once-per-process warning.
+    """
+    global _warned_auto_compile
+    if any(not spec.is_prepared for spec in specs) \
+            and not _warned_auto_compile:
+        _warned_auto_compile = True
+        warnings.warn(
+            "record-level ProgramSpec auto-compiled on the fly;"
+            " pass ProgramSpec.prepared() (a CompiledTrace) to sweep"
+            " and cache APIs to compile once up front",
+            DeprecationWarning, stacklevel=3)
+    return tuple(spec.prepared() for spec in specs)
+
+
+class ReplayOp:
+    """One data-moving call, viewed from the compiled columns.
+
+    A lightweight cursor value — exactly the fields the replay loop
+    reads (no fd, no recorded duration: those never reach simulation).
+    """
+
+    __slots__ = ("pid", "inode", "offset", "size", "op")
+
+    def __init__(self, pid: int, inode: int, offset: int, size: int,
+                 op: OpType) -> None:
+        self.pid = pid
+        self.inode = inode
+        self.offset = offset
+        self.size = size
+        self.op = op
+
 
 class ProgramDriver:
-    """Replay cursor of one program."""
+    """Replay cursor of one program, reading compiled columns."""
 
     def __init__(self, spec: ProgramSpec) -> None:
-        self.spec = spec
-        self.records: list[SyscallRecord] = spec.trace.data_records()
-        # Closed-loop think times: gap between call i's return and call
-        # i+1's entry in the recording.
-        self.thinks: list[float] = [
-            max(0.0, nxt.timestamp - cur.end_time)
-            for cur, nxt in zip(self.records, self.records[1:],
-                                strict=False)
-        ]
+        self.spec = spec if spec.is_prepared else spec.prepared()
+        compiled = self.spec.trace
+        assert isinstance(compiled, CompiledTrace)
+        self.compiled = compiled
+        self._ops = compiled.ops
+        self._pids = memoryview(compiled.pids).cast("q")
+        self._inodes = memoryview(compiled.inodes).cast("q")
+        self._offsets = memoryview(compiled.offsets).cast("q")
+        self._sizes = memoryview(compiled.sizes).cast("q")
+        #: closed-loop think times, precomputed at compile time.
+        self.thinks = memoryview(compiled.thinks).cast("d")
         self.index = 0
         self.last_completion = 0.0
-        self.done = not self.records
+        self.done = compiled.record_count == 0
 
     @property
     def name(self) -> str:
-        return self.spec.trace.name
+        return self.compiled.name
 
     @property
-    def current(self) -> SyscallRecord:
+    def record_count(self) -> int:
+        """Number of data-moving records being replayed."""
+        return self.compiled.record_count
+
+    @property
+    def total_bytes(self) -> Bytes:
+        """Total bytes the replayed records move."""
+        return self.compiled.total_bytes
+
+    @property
+    def start_time(self) -> Seconds:
+        """Recorded timestamp of the first data record."""
+        return self.compiled.start_time
+
+    @property
+    def current(self) -> ReplayOp:
         """The record the replay cursor points at."""
-        return self.records[self.index]
+        i = self.index
+        return ReplayOp(self._pids[i], self._inodes[i], self._offsets[i],
+                        self._sizes[i], OPS_BY_CODE[self._ops[i]])
 
     def advance(self) -> float | None:
         """Move past the current record; returns the recorded think
         time before the next one, or None when the program is done."""
         self.index += 1
-        if self.index >= len(self.records):
+        if self.index >= self.compiled.record_count:
             self.done = True
             return None
         return self.thinks[self.index - 1]

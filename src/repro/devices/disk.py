@@ -344,10 +344,16 @@ class HardDisk(PowerStateMachine):
         if self.state not in (DiskState.STANDBY.value,
                               DiskState.SLEEP.value):
             return time
-        self._note_quiet_period_end(time)
+        # Clamp to the busy horizon exactly as service() does: a hint can
+        # arrive timestamped before an in-flight transition (e.g. a failed
+        # demand spin-up) has finished, and starting the transition inside
+        # that window would let the timeline disagree with the (clamping)
+        # energy meter.
+        start = max(time, self.busy_until)
+        self._note_quiet_period_end(start)
         bucket = ("disk.wake" if self.state == DiskState.SLEEP.value
                   else "disk.spinup")
-        ready = self.transition(time, DiskState.ACTIVE.value,
+        ready = self.transition(start, DiskState.ACTIVE.value,
                                 bucket=bucket)
         self.spinup_count += 1
         self.transition(ready, DiskState.IDLE.value)

@@ -42,13 +42,17 @@ from repro.core.workload import ProgramSpec
 from repro.devices.specs import WnicSpec
 from repro.experiments.config import ExperimentConfig
 from repro.faults.schedule import FaultSchedule
+from repro.traces.compile import CompiledTrace
 from repro.traces.trace import Trace
 
 #: Part of every cache key.  Bump on intentional behaviour changes —
 #: the same occasions on which the golden pins are regenerated.
-#: (v2: fault and spindown configuration joined the key; every v1 row
-#: misses once and is re-simulated to an identical result.)
-CODE_VERSION_SALT = "flexfetch-sim-v2"
+#: (v2: fault and spindown configuration joined the key.  v3: traces
+#: key on their compiled content digest instead of a full record walk,
+#: and parameterised policy factories key payloads such as execution
+#: profiles by digest too; every v2 row misses once and is
+#: re-simulated to an identical result.)
+CODE_VERSION_SALT = "flexfetch-sim-v3"
 
 
 #: Per-process sequence distinguishing concurrent tmp files.  Combined
@@ -77,6 +81,16 @@ class UncacheableFactoryError(TypeError):
     """
 
 
+class UncompiledTraceError(TypeError):
+    """A record-level :class:`Trace` reached a digest-keyed cache path.
+
+    Since salt v3 the run cache keys traces on their compiled content
+    digest; a raw ``Trace`` has none, and silently re-walking its
+    records here would undo the compile-once pipeline.  Call
+    ``ProgramSpec.prepared()`` (or ``compile_trace``) before keying.
+    """
+
+
 def _describe(obj: Any) -> Any:
     """Canonical JSON-compatible description of a cache-key component.
 
@@ -95,13 +109,14 @@ def _describe(obj: Any) -> Any:
         return [_describe(item) for item in obj]
     if isinstance(obj, dict):
         return {str(k): _describe(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, CompiledTrace):
+        # The digest already covers name, data records, think times
+        # and the file table — the whole simulation-visible content.
+        return {"__ctrace__": obj.digest}
     if isinstance(obj, Trace):
-        return {
-            "__trace__": obj.name,
-            "records": [_describe(rec) for rec in obj.records],
-            "files": {str(i): _describe(f)
-                      for i, f in sorted(obj.files.items())},
-        }
+        raise UncompiledTraceError(
+            "record-level Trace in a cache key; compile it first"
+            " (ProgramSpec.prepared() / compile_trace)")
     if isinstance(obj, FaultSchedule):
         # A schedule is a pure function of (spec, seed); its generated
         # timelines need not (and must not) be re-serialised.
@@ -123,6 +138,19 @@ def _describe(obj: Any) -> Any:
         }
     raise UncacheableFactoryError(
         f"cannot build a cache key from {type(obj).__qualname__!r}")
+
+
+def payload_digest(obj: Any) -> str:
+    """Content digest of a describable value (profile, spec, ...).
+
+    The sha256 of the canonical JSON :func:`_describe` produces — the
+    hash a heavy payload is keyed under in the worker registry and in
+    digest-based ``cache_token()`` implementations, so shipping a
+    payload by reference and by value key identically.
+    """
+    canonical = json.dumps(_describe(obj), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def policy_token(policy_factory: Any) -> Any:

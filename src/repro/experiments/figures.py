@@ -32,9 +32,9 @@ from repro.core.profile import ExecutionProfile, profile_from_trace
 from repro.core.session import SimulationSession
 from repro.core.telemetry import RunResult
 from repro.core.workload import ProgramSpec
-from repro.experiments.cache import RunCache
+from repro.experiments.cache import RunCache, payload_digest
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.parallel import ParallelSweepExecutor
+from repro.experiments.parallel import ParallelSweepExecutor, resolve_payload
 from repro.experiments.runner import (
     PolicyFactory,
     ProgramSet,
@@ -94,8 +94,57 @@ class FlexFetchFactory:
             adaptive=self.adaptive))
 
     def cache_token(self) -> dict[str, object]:
+        # The profile participates by content digest, not by value —
+        # the same token the dispatch form produces, so a cell keys
+        # identically however the factory is shipped.
         return {"factory": type(self).__qualname__,
-                "profile": self.profile,
+                "profile_digest": payload_digest(self.profile),
+                "loss_rate": self.loss_rate,
+                "stage_length": self.stage_length,
+                "adaptive": self.adaptive}
+
+    def prepare_for_dispatch(self, stage: Callable[[str, object], str]
+                             ) -> _PreparedFlexFetchFactory:
+        """Digest-referencing form for worker dispatch.
+
+        Stages the execution profile (the one heavy field) via
+        ``stage`` and returns a factory that carries only its digest —
+        a :class:`~repro.experiments.parallel.SweepJob` holding the
+        prepared form pickles to a constant size however long the
+        profiled trace was.
+        """
+        digest = stage(payload_digest(self.profile), self.profile)
+        return _PreparedFlexFetchFactory(
+            profile_digest=digest, loss_rate=self.loss_rate,
+            stage_length=self.stage_length, adaptive=self.adaptive)
+
+
+@dataclass(frozen=True, slots=True)
+class _PreparedFlexFetchFactory:
+    """:class:`FlexFetchFactory` with the profile staged by digest.
+
+    Built only via :meth:`FlexFetchFactory.prepare_for_dispatch`; the
+    profile is resolved from the fork-inherited payload registry at
+    policy-construction time in the worker.  ``cache_token()`` is
+    byte-identical to the unprepared factory's.
+    """
+
+    profile_digest: str
+    loss_rate: float
+    stage_length: float
+    adaptive: bool = True
+
+    def __call__(self) -> FlexFetchPolicy:
+        profile = resolve_payload(self.profile_digest)
+        assert isinstance(profile, ExecutionProfile)
+        return FlexFetchPolicy(profile, FlexFetchConfig(
+            loss_rate=self.loss_rate,
+            stage_length=self.stage_length,
+            adaptive=self.adaptive))
+
+    def cache_token(self) -> dict[str, object]:
+        return {"factory": FlexFetchFactory.__qualname__,
+                "profile_digest": self.profile_digest,
                 "loss_rate": self.loss_rate,
                 "stage_length": self.stage_length,
                 "adaptive": self.adaptive}
@@ -165,7 +214,7 @@ def figure1(config: ExperimentConfig | None = None, *, panels: str = "ab",
     profile = profile_from_trace(trace)
     return _run_figure(
         "fig1", "grep+make: energy vs WNIC latency/bandwidth",
-        ProgramSet((ProgramSpec(trace),)), trace.name,
+        ProgramSet((ProgramSpec(trace).prepared(),)), trace.name,
         _standard_policies(profile, config), config,
         panels=panels, progress=progress, workers=workers, cache=cache,
         executor=executor)
@@ -184,7 +233,7 @@ def figure2(config: ExperimentConfig | None = None, *, panels: str = "ab",
     profile = profile_from_trace(trace)
     return _run_figure(
         "fig2", "mplayer: energy vs WNIC latency/bandwidth",
-        ProgramSet((ProgramSpec(trace),)), trace.name,
+        ProgramSet((ProgramSpec(trace).prepared(),)), trace.name,
         _standard_policies(profile, config), config,
         panels=panels, progress=progress, workers=workers, cache=cache,
         executor=executor)
@@ -203,7 +252,7 @@ def figure3(config: ExperimentConfig | None = None, *, panels: str = "ab",
     profile = profile_from_trace(trace)
     return _run_figure(
         "fig3", "Thunderbird: energy vs WNIC latency/bandwidth",
-        ProgramSet((ProgramSpec(trace),)), trace.name,
+        ProgramSet((ProgramSpec(trace).prepared(),)), trace.name,
         _standard_policies(profile, config), config,
         panels=panels, progress=progress, workers=workers, cache=cache,
         executor=executor)
@@ -227,8 +276,9 @@ def figure4(config: ExperimentConfig | None = None, *, panels: str = "ab",
     profile = profile_from_trace(fg)
     return _run_figure(
         "fig4", "grep+make / xmms: energy with a forced-spun-up disk",
-        ProgramSet((ProgramSpec(fg),
-                    ProgramSpec(bg, profiled=False, disk_pinned=True))),
+        ProgramSet((ProgramSpec(fg).prepared(),
+                    ProgramSpec(bg, profiled=False,
+                                disk_pinned=True).prepared())),
         f"{fg.name} | {bg.name}",
         _standard_policies(profile, config, include_static=True), config,
         panels=panels, progress=progress, workers=workers, cache=cache,
@@ -248,7 +298,7 @@ def figure5(config: ExperimentConfig | None = None, *, panels: str = "ab",
     stale = profile_from_trace(generate_acroread_profile_run(config.seed))
     return _run_figure(
         "fig5", "Acroread: energy with an out-of-date profile",
-        ProgramSet((ProgramSpec(search),)), search.name,
+        ProgramSet((ProgramSpec(search).prepared(),)), search.name,
         _standard_policies(stale, config, include_static=True), config,
         panels=panels, progress=progress, workers=workers, cache=cache,
         executor=executor)

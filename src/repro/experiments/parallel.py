@@ -11,11 +11,21 @@ lines, never the results.
 Determinism across process boundaries rests on two properties the rest
 of the codebase already guarantees:
 
-* every simulation input is an immutable value (specs, traces, frozen
-  configs) shipped to the worker by pickling — no shared mutable state;
+* every simulation input is an immutable value (specs, compiled traces,
+  frozen configs) — no shared mutable state;
 * event ordering inside a run is a pure function of that run's schedule
   (per-loop tie-break slots in :class:`~repro.sim.engine.EventLoop`),
   independent of whatever else ran in the worker process.
+
+Heavy payloads never ride inside job pickles.  Before the pool spawns,
+the parent stages each distinct compiled trace (and any policy-factory
+payload, such as an execution profile) in the module-level
+:data:`_WORKER_PAYLOADS` registry, keyed by content digest; forked
+workers inherit the registry copy-on-write.  A :class:`SweepJob`
+therefore carries only parameters plus :class:`ProgramRef` digests —
+its pickled size is independent of trace length — and
+:func:`_execute_job` resolves the digests against the worker's
+inherited registry.
 
 On top of the fan-out the executor layers the resilience story:
 
@@ -43,7 +53,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.core.telemetry import RunResult
-from repro.core.workload import ProgramSpec
+from repro.core.workload import ProgramSpec, prepare_specs
 from repro.devices.specs import WnicSpec
 from repro.experiments.cache import CODE_VERSION_SALT, RunCache, run_key
 from repro.experiments.config import ExperimentConfig
@@ -64,6 +74,7 @@ from repro.experiments.supervisor import (
 )
 from repro.faults.chaos import CacheChaos, ChaosInjector, ChaosSpec
 from repro.faults.schedule import FaultSpec
+from repro.traces.compile import CompiledTrace
 from repro.units import BytesPerSecond, Seconds
 
 
@@ -92,18 +103,99 @@ class SweepCellError(RuntimeError):
         self.remote_traceback = remote_traceback or ""
 
 
+#: Per-process payload registry, keyed by content digest.  The parent
+#: stages every distinct compiled trace and policy-factory payload here
+#: before the pool spawns; workers fork from the parent (including
+#: supervision respawns) and inherit the mapping copy-on-write, so each
+#: payload crosses the process boundary once per worker lifetime
+#: instead of once per job pickle.  Staging is idempotent — digests are
+#: content hashes, so re-staging the same digest stores an equal value.
+_WORKER_PAYLOADS: dict[str, object] = {}
+
+
+class UnknownPayloadDigestError(KeyError):
+    """A job referenced a digest absent from the payload registry.
+
+    Only possible when a :class:`SweepJob` (or prepared policy factory)
+    is executed in a process that did not fork from the parent that
+    staged its payloads — e.g. a hand-built job in a fresh interpreter.
+    """
+
+    def __init__(self, digest: str) -> None:
+        super().__init__(
+            f"payload digest {digest[:12]}... is not staged in this"
+            " process; sweep jobs must run in workers forked from the"
+            " parent that built them (see stage_payload)")
+        self.digest = digest
+
+
+def stage_payload(digest: str, payload: object) -> str:
+    """Stage an immutable payload for digest-keyed worker resolution."""
+    _WORKER_PAYLOADS[digest] = payload
+    return digest
+
+
+def resolve_payload(digest: str) -> object:
+    """The staged payload for ``digest`` (parent or forked worker)."""
+    try:
+        return _WORKER_PAYLOADS[digest]
+    except KeyError:
+        raise UnknownPayloadDigestError(digest) from None
+
+
+@dataclass(frozen=True, slots=True)
+class ProgramRef:
+    """A :class:`ProgramSpec` by reference: flags plus trace digest.
+
+    The job-pickle form of a prepared spec — constant-size however long
+    the trace is.  ``digest`` is the compiled trace's content digest,
+    resolved against the worker's inherited payload registry.
+    """
+
+    digest: str
+    profiled: bool = True
+    disk_pinned: bool = False
+
+    @classmethod
+    def of(cls, spec: ProgramSpec) -> ProgramRef:
+        return cls(digest=spec.compiled.digest, profiled=spec.profiled,
+                   disk_pinned=spec.disk_pinned)
+
+    def resolve(self) -> ProgramSpec:
+        trace = resolve_payload(self.digest)
+        assert isinstance(trace, CompiledTrace)
+        return ProgramSpec(trace=trace, profiled=self.profiled,
+                           disk_pinned=self.disk_pinned)
+
+
+def _prepare_factory(factory: PolicyFactory) -> PolicyFactory:
+    """A factory's dispatch form, with its heavy payloads staged.
+
+    Factories that embed large values (e.g. an execution profile)
+    expose ``prepare_for_dispatch(stage)``; it stages the payloads via
+    the given callable and returns an equivalent digest-referencing
+    factory whose ``cache_token()`` is identical.  Plain factories pass
+    through unchanged.
+    """
+    prepare = getattr(factory, "prepare_for_dispatch", None)
+    if prepare is None:
+        return factory
+    return prepare(stage_payload)
+
+
 @dataclass(frozen=True, slots=True)
 class SweepJob:
     """Everything one worker needs to run one sweep cell.
 
-    The job is a plain picklable value: the programs factory has
-    already been called in the parent, so workers receive the concrete
-    spec tuple rather than a (possibly unpicklable) closure.
+    The job is a plain picklable value whose size does not scale with
+    trace length: programs are :class:`ProgramRef` digests into the
+    fork-inherited payload registry, and prepared policy factories
+    reference their payloads the same way.
     """
 
     index: int
     curve: str
-    programs: tuple[ProgramSpec, ...]
+    programs: tuple[ProgramRef, ...]
     policy_factory: PolicyFactory
     wnic_spec: WnicSpec
     config: ExperimentConfig
@@ -115,8 +207,9 @@ class SweepJob:
 
 def _execute_job(job: SweepJob) -> SweepPoint:
     """Worker entry point: run one cell (module-level, hence picklable)."""
+    specs = [ref.resolve() for ref in job.programs]
     schedule = build_fault_schedule(job.faults, job.config.seed)
-    return run_point(lambda: list(job.programs), job.policy_factory,
+    return run_point(lambda: list(specs), job.policy_factory,
                      job.wnic_spec, job.config, faults=schedule)
 
 
@@ -161,6 +254,44 @@ def placeholder_result(curve: str) -> RunResult:
 def is_placeholder(result: RunResult) -> bool:
     """Whether a result row is a failed-cell placeholder."""
     return math.isnan(result.end_time) and result.requests == 0
+
+
+class _PointStore:
+    """Completed sweep points, materialised or streamed.
+
+    Without a consumer this is a plain index -> point map the executor
+    assembles curves from at the end.  With one it becomes a reorder
+    buffer: each point is handed to the consumer exactly once, in
+    sweep-index order regardless of completion order, then dropped — a
+    streaming sweep never retains more points than its out-of-order
+    window, however many cells the grid has.
+    """
+
+    def __init__(self, consumer: Callable[[int, str, SweepPoint], None]
+                 | None = None) -> None:
+        self._consumer = consumer
+        self._held: dict[int, tuple[str, SweepPoint]] = {}
+        self._next = 0
+        #: total points ever added (journal end-of-sweep accounting).
+        self.added = 0
+
+    def add(self, index: int, curve: str, point: SweepPoint) -> None:
+        self.added += 1
+        self._held[index] = (curve, point)
+        if self._consumer is None:
+            return
+        while self._next in self._held:
+            curve, point = self._held.pop(self._next)
+            self._consumer(self._next, curve, point)
+            self._next += 1
+
+    def get(self, index: int) -> SweepPoint:
+        return self._held[index][1]
+
+    @property
+    def held(self) -> int:
+        """Points currently buffered (0 after a streamed sweep ends)."""
+        return len(self._held)
 
 
 class ParallelSweepExecutor:
@@ -239,7 +370,9 @@ class ParallelSweepExecutor:
                   wnic_specs: Sequence[WnicSpec],
                   config: ExperimentConfig,
                   *, progress: Callable[[str], None] | None = None,
-                  faults: FaultSpec | None = None
+                  faults: FaultSpec | None = None,
+                  consumer: Callable[[int, str, SweepPoint], None]
+                  | None = None
                   ) -> dict[str, list[SweepPoint]]:
         """Run every policy across every link point.
 
@@ -252,37 +385,61 @@ class ParallelSweepExecutor:
         its remote traceback attached), or — in ``partial`` mode — the
         failed cells are returned as placeholders and recorded in
         :attr:`failures`.
+
+        With a ``consumer`` the sweep streams instead of materialising:
+        each ``(index, curve, point)`` is delivered exactly once, in
+        sweep order, and dropped immediately after — the return value is
+        then an empty-curves dict, and peak point retention is bounded
+        by the out-of-order completion window rather than the grid size.
         """
-        programs = tuple(programs_factory())
+        specs = prepare_specs(tuple(programs_factory()))
+        refs = tuple(ProgramRef.of(spec) for spec in specs)
+        for spec, ref in zip(specs, refs, strict=True):
+            stage_payload(ref.digest, spec.trace)
+        factories = {name: _prepare_factory(factory)
+                     for name, factory in policy_factories.items()}
         self._ensure_cache_chaos(config.seed)
         jobs: list[SweepJob] = []
         for spec in wnic_specs:
-            for name, factory in policy_factories.items():
+            for name, factory in factories.items():
                 jobs.append(SweepJob(index=len(jobs), curve=name,
-                                     programs=programs,
+                                     programs=refs,
                                      policy_factory=factory,
                                      wnic_spec=spec, config=config,
                                      faults=faults))
 
-        keys = self._keys_for(jobs)
+        keys = self._keys_for(jobs, specs)
         if self.journal is not None:
             assert keys is not None
             self.journal.begin_sweep(
                 [keys[job.index] for job in jobs],
                 salt=self.cache.salt if self.cache else CODE_VERSION_SALT)
 
-        points: dict[int, SweepPoint] = {}
+        points = _PointStore(consumer)
         failures: list[CellFailure] = []
         corrupt_before = self.cache.corrupt_rows if self.cache else 0
         pending = self._drain_journal(jobs, points, progress, keys)
         pending = self._drain_cache(pending, points, progress, keys)
         if pending:
-            if self.workers == 1:
+            # Worker-count footgun guard: a pool wider than the pending
+            # cell count only spawns idle processes, and a 1-cell pool
+            # pays fork/pickle overhead for no concurrency — clamp, and
+            # fall back to in-process execution for tiny remainders.
+            pool_workers = min(self.workers, len(pending))
+            if pool_workers <= 1:
+                if self.workers > 1 and progress is not None:
+                    progress(f"[workers] {len(pending)} pending"
+                             f" cell(s); running serially instead of"
+                             f" spawning {self.workers} workers")
                 self._run_serial(pending, points, failures, progress,
                                  keys)
             else:
+                if pool_workers < self.workers and progress is not None:
+                    progress(f"[workers] clamped {self.workers} ->"
+                             f" {pool_workers} for {len(pending)}"
+                             " pending cell(s)")
                 self._run_pool(pending, points, failures, progress,
-                               keys, config.seed)
+                               keys, config.seed, pool_workers)
 
         if self.cache is not None and progress is not None:
             corrupt = self.cache.corrupt_rows - corrupt_before
@@ -296,29 +453,37 @@ class ParallelSweepExecutor:
                                     keys)
         if self.journal is not None:
             self.journal.end_sweep(
-                completed=len(points) - len(failures),
+                completed=points.added - len(failures),
                 failed=len(failures))
 
         curves: dict[str, list[SweepPoint]] = {name: []
                                                for name in policy_factories}
-        for job in jobs:
-            curves[job.curve].append(points[job.index])
+        if consumer is None:
+            for job in jobs:
+                curves[job.curve].append(points.get(job.index))
         return curves
 
     # ------------------------------------------------------------------
-    def _keys_for(self, jobs: list[SweepJob]) -> dict[int, str] | None:
-        """Content keys per cell, when caching or journaling needs them."""
+    def _keys_for(self, jobs: list[SweepJob],
+                  specs: tuple[ProgramSpec, ...]
+                  ) -> dict[int, str] | None:
+        """Content keys per cell, when caching or journaling needs them.
+
+        Keys are computed from the resolved (prepared) specs — the
+        digest-bearing values — not the :class:`ProgramRef` wire form,
+        so a cell keys identically however it is shipped.
+        """
         if self.cache is None and self.journal is None:
             return None
         salt = self.cache.salt if self.cache is not None \
             else CODE_VERSION_SALT
-        return {job.index: run_key(job.programs, job.policy_factory,
+        return {job.index: run_key(specs, job.policy_factory,
                                    job.wnic_spec, job.config,
                                    faults=job.faults, salt=salt)
                 for job in jobs}
 
     def _drain_journal(self, jobs: list[SweepJob],
-                       points: dict[int, SweepPoint],
+                       points: _PointStore,
                        progress: Callable[[str], None] | None,
                        keys: dict[int, str] | None) -> list[SweepJob]:
         """Fill cells already completed in the journal being resumed."""
@@ -335,14 +500,14 @@ class ParallelSweepExecutor:
                                latency=job.wnic_spec.latency,
                                bandwidth_bps=job.wnic_spec.bandwidth_bps,
                                result=result)
-            points[job.index] = point
+            points.add(job.index, job.curve, point)
             self.journal_hits += 1
             if progress is not None:
                 progress(progress_line(point) + " [journal]")
         return pending
 
     def _drain_cache(self, jobs: list[SweepJob],
-                     points: dict[int, SweepPoint],
+                     points: _PointStore,
                      progress: Callable[[str], None] | None,
                      keys: dict[int, str] | None) -> list[SweepJob]:
         """Fill cached cells; return the jobs that must run live."""
@@ -359,7 +524,7 @@ class ParallelSweepExecutor:
                                latency=job.wnic_spec.latency,
                                bandwidth_bps=job.wnic_spec.bandwidth_bps,
                                result=result)
-            points[job.index] = point
+            points.add(job.index, job.curve, point)
             self.cache_hits += 1
             if self.journal is not None:
                 self.journal.record_finish(job.index, keys[job.index],
@@ -370,10 +535,10 @@ class ParallelSweepExecutor:
 
     # ------------------------------------------------------------------
     def _record(self, job: SweepJob, point: SweepPoint,
-                points: dict[int, SweepPoint],
+                points: _PointStore,
                 progress: Callable[[str], None] | None,
                 keys: dict[int, str] | None) -> None:
-        points[job.index] = point
+        points.add(job.index, job.curve, point)
         self.live_runs += 1
         if self.cache is not None:
             assert keys is not None
@@ -388,7 +553,7 @@ class ParallelSweepExecutor:
             progress(progress_line(point))
 
     def _run_serial(self, pending: list[SweepJob],
-                    points: dict[int, SweepPoint],
+                    points: _PointStore,
                     failures: list[CellFailure],
                     progress: Callable[[str], None] | None,
                     keys: dict[int, str] | None) -> None:
@@ -424,10 +589,11 @@ class ParallelSweepExecutor:
                 break
 
     def _run_pool(self, pending: list[SweepJob],
-                  points: dict[int, SweepPoint],
+                  points: _PointStore,
                   failures: list[CellFailure],
                   progress: Callable[[str], None] | None,
-                  keys: dict[int, str] | None, seed: int) -> None:
+                  keys: dict[int, str] | None, seed: int,
+                  pool_workers: int) -> None:
         by_index = {job.index: job for job in pending}
         injector = None
         if self.chaos is not None and \
@@ -449,7 +615,7 @@ class ParallelSweepExecutor:
         def on_result(index: int, point: SweepPoint) -> None:
             self._record(by_index[index], point, points, progress, keys)
 
-        pool = SupervisedPool(self.workers, _execute_job,
+        pool = SupervisedPool(pool_workers, _execute_job,
                               retry=self.retry, timeout=self.timeout,
                               seed=seed, chaos=injector,
                               on_start=on_start, on_retry=on_retry,
@@ -463,7 +629,7 @@ class ParallelSweepExecutor:
     # ------------------------------------------------------------------
     def _finalise_failures(self, jobs: list[SweepJob],
                            failures: list[CellFailure],
-                           points: dict[int, SweepPoint],
+                           points: _PointStore,
                            progress: Callable[[str], None] | None,
                            keys: dict[int, str] | None) -> None:
         for failure in failures:
@@ -486,10 +652,10 @@ class ParallelSweepExecutor:
                 remote_traceback=first.remote_traceback) from first.cause
         for failure in failures:
             job = jobs[failure.index]
-            points[failure.index] = SweepPoint(
+            points.add(failure.index, job.curve, SweepPoint(
                 policy=job.curve, latency=job.wnic_spec.latency,
                 bandwidth_bps=job.wnic_spec.bandwidth_bps,
-                result=placeholder_result(job.curve))
+                result=placeholder_result(job.curve)))
             if progress is not None:
                 progress(f"{job.curve}"
                          f" @ lat={job.wnic_spec.latency * 1e3:.0f}ms"

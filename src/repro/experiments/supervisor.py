@@ -29,6 +29,15 @@ The module is deliberately ignorant of sweep semantics — it runs
 results/failures by index.  :mod:`repro.experiments.parallel` layers
 the sweep-ordering, caching, and journaling on top.
 
+Workers are **forked** from the parent — both the initial spawn and
+every supervision respawn — so they inherit, copy-on-write, whatever
+the parent staged before ``run()``: in particular the digest-keyed
+payload registry (:func:`repro.experiments.parallel.stage_payload`)
+that compiled traces and policy payloads ride in on.  Jobs shipped
+over the pipes can therefore reference those payloads by digest
+instead of carrying them, which is what keeps per-cell pickles
+constant-size.
+
 Wall-clock reads in this module are supervision-only (deadlines and
 backoff sleeps); they never reach simulation results, which stay a pure
 function of the job inputs.

@@ -152,6 +152,14 @@ _LOCK_FACTORIES = frozenset({
     "multiprocessing.RLock",
 })
 
+#: constructors whose results are mutable — unsafe to stage in the
+#: fork-inherited worker payload registry.
+_MUTABLE_FACTORIES = frozenset({
+    "list", "dict", "set", "bytearray",
+    "collections.deque", "collections.defaultdict",
+    "collections.Counter", "collections.OrderedDict",
+})
+
 
 def _fn_params(fn: FunctionIR) -> set[str]:
     args = fn.node.args
@@ -242,6 +250,51 @@ def _unpicklable_kind(expr: ast.expr, fn: FunctionIR,
     return None
 
 
+def _mutable_payload_kind(expr: ast.expr, fn: FunctionIR) -> str | None:
+    """Why ``expr`` is a mutable value, or None if it looks immutable."""
+    if isinstance(expr, ast.List):
+        return "a list literal"
+    if isinstance(expr, ast.Dict):
+        return "a dict literal"
+    if isinstance(expr, ast.Set):
+        return "a set literal"
+    if isinstance(expr, ast.ListComp):
+        return "a list comprehension"
+    if isinstance(expr, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(expr, ast.DictComp):
+        return "a dict comprehension"
+    if isinstance(expr, ast.Call):
+        dotted = fn.module.imports.resolve(expr.func)
+        if dotted in _MUTABLE_FACTORIES:
+            return f"{dotted}()"
+    return None
+
+
+def _staged_payload_exprs(summary: FunctionSummary) -> list[ast.expr]:
+    """Payload arguments of ``stage_payload(digest, payload)`` calls."""
+    out: list[ast.expr] = []
+    seen: set[int] = set()
+
+    def payload_arg(call: ast.Call) -> None:
+        if id(call) in seen:
+            return
+        seen.add(id(call))
+        if len(call.args) > 1:
+            out.append(call.args[1])
+        for kw in call.keywords:
+            if kw.arg == "payload":
+                out.append(kw.value)
+
+    for target, call in summary.calls:
+        if target.rsplit(".", 1)[-1] == "stage_payload":
+            payload_arg(call)
+    for dotted, call in summary.external:
+        if dotted.rsplit(".", 1)[-1] == "stage_payload":
+            payload_arg(call)
+    return out
+
+
 def _iter_display_values(expr: ast.expr) -> Iterator[ast.expr]:
     """The expression plus every element of nested literal displays."""
     yield expr
@@ -314,6 +367,22 @@ def _run_r7(graph: CallGraph) -> list[Finding]:
                             " are pickled into worker processes; pass a"
                             " module-level function or a describable"
                             " factory instead"))
+        for arg in _staged_payload_exprs(summary):
+            for expr in _iter_display_values(arg):
+                kind = _mutable_payload_kind(expr, fn)
+                if kind is None:
+                    continue
+                findings.append(Finding(
+                    path=fn.module.path, line=expr.lineno,
+                    col=expr.col_offset, rule="R7",
+                    message=f"mutable value ({kind}) staged into the"
+                            " worker payload registry — staged payloads"
+                            " are inherited copy-on-write by forked"
+                            " workers and keyed by content digest, so"
+                            " they must be immutable (frozen dataclass,"
+                            " bytes, tuple); parent-side mutation after"
+                            " staging silently diverges from what"
+                            " workers see"))
     return findings
 
 

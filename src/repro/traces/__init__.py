@@ -13,20 +13,34 @@ access structure — see DESIGN.md §2 for the substitution rationale.
 * :mod:`repro.traces.io` — JSONL round-trip serialisation.
 * :mod:`repro.traces.strace` — parser for the modified-strace text format.
 * :mod:`repro.traces.synth` — per-application generators.
+* :mod:`repro.traces.compile` — compile-once lowering
+  (:class:`CompiledTrace`) and the :class:`TraceSource` ingestion seam.
 """
 
 from repro.traces.record import FileInfo, OpType, SyscallRecord
 from repro.traces.trace import Trace, TraceStats
+from repro.traces.compile import (
+    CompiledTrace,
+    StraceSource,
+    SyntheticSource,
+    TraceSource,
+    compile_trace,
+)
 from repro.traces.io import (load_trace_csv, load_trace_jsonl,
                              save_trace_csv, save_trace_jsonl)
 from repro.traces.strace import format_strace_line, parse_strace_line, parse_strace_text
 
 __all__ = [
+    "CompiledTrace",
     "FileInfo",
     "OpType",
+    "StraceSource",
     "SyscallRecord",
+    "SyntheticSource",
     "Trace",
+    "TraceSource",
     "TraceStats",
+    "compile_trace",
     "load_trace_csv",
     "load_trace_jsonl",
     "save_trace_csv",

@@ -53,3 +53,39 @@ def test_shim_still_runs_bit_identically() -> None:
         warnings.simplefilter("ignore", DeprecationWarning)
         result = _build().run()
     assert result.end_time > 0.0
+
+
+class TestAutoCompileWarnsOnce:
+    """Record-level specs crossing the sweep/cache boundary warn once
+    per process, then compile silently."""
+
+    def _specs(self):
+        trace = make_trace([(1, 0, 65536, "read", 0.0)],
+                           file_sizes={1: 65536})
+        return (ProgramSpec(trace),)
+
+    def test_warns_once_then_stays_quiet(self, monkeypatch):
+        import repro.core.workload as workload
+        monkeypatch.setattr(workload, "_warned_auto_compile", False)
+        with pytest.warns(DeprecationWarning,
+                          match="auto-compiled on the fly"):
+            workload.prepare_specs(self._specs())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            workload.prepare_specs(self._specs())
+        assert not any(issubclass(w.category, DeprecationWarning)
+                       and "auto-compiled" in str(w.message)
+                       for w in caught)
+
+    def test_prepared_specs_never_warn(self, monkeypatch):
+        import repro.core.workload as workload
+        monkeypatch.setattr(workload, "_warned_auto_compile", False)
+        prepared = tuple(s.prepared() for s in self._specs())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            out = workload.prepare_specs(prepared)
+        assert out == prepared
+        assert not any(issubclass(w.category, DeprecationWarning)
+                       and "auto-compiled" in str(w.message)
+                       for w in caught)
+        assert workload._warned_auto_compile is False

@@ -36,12 +36,14 @@ def config():
 
 @pytest.fixture
 def programs():
-    return (ProgramSpec(small_trace()),)
+    return (ProgramSpec(small_trace()).prepared(),)
 
 
 class TestRunKey:
     def test_stable_across_equal_inputs(self, config, programs):
-        rebuilt = (ProgramSpec(small_trace()),)
+        # A different Trace object with equal content compiles to the
+        # same digest, hence the same key.
+        rebuilt = (ProgramSpec(small_trace()).prepared(),)
         assert run_key(programs, DiskOnlyPolicy, config.wnic_spec,
                        config) == \
             run_key(rebuilt, DiskOnlyPolicy, config.wnic_spec, config)
@@ -72,7 +74,7 @@ class TestRunKey:
     def test_trace_contents_change_key(self, config, programs):
         other = (ProgramSpec(make_trace(
             [(1, 0, 65536, "read", 0.0)], name="cached",
-            file_sizes={1: 65536})),)
+            file_sizes={1: 65536})).prepared(),)
         assert run_key(programs, DiskOnlyPolicy, config.wnic_spec,
                        config) != \
             run_key(other, DiskOnlyPolicy, config.wnic_spec, config)
@@ -277,3 +279,64 @@ class TestRunCache:
         assert a.result == b.result
         assert a.energy == b.energy          # exact, not approx
         assert a.result.end_time == b.result.end_time
+
+
+class TestUncompiledTraces:
+    """Since salt v3 the cache keys on compiled digests only."""
+
+    def test_record_level_trace_raises_typed_error(self, config):
+        from repro.experiments.cache import UncompiledTraceError
+        raw = (ProgramSpec(small_trace()),)
+        with pytest.raises(UncompiledTraceError,
+                           match="compile it first"):
+            run_key(raw, DiskOnlyPolicy, config.wnic_spec, config)
+
+    def test_key_for_raises_the_same_error(self, tmp_path, config):
+        from repro.experiments.cache import UncompiledTraceError
+        cache = RunCache(tmp_path)
+        with pytest.raises(UncompiledTraceError):
+            cache.key_for((ProgramSpec(small_trace()),), DiskOnlyPolicy,
+                          config.wnic_spec, config)
+
+    def test_error_is_a_type_error(self):
+        from repro.experiments.cache import UncompiledTraceError
+        assert issubclass(UncompiledTraceError, TypeError)
+
+    def test_prepared_and_freshly_compiled_key_identically(self, config):
+        from repro.traces.compile import compile_trace
+        via_spec = (ProgramSpec(small_trace()).prepared(),)
+        via_compile = (ProgramSpec(compile_trace(small_trace())),)
+        assert run_key(via_spec, DiskOnlyPolicy, config.wnic_spec,
+                       config) == \
+            run_key(via_compile, DiskOnlyPolicy, config.wnic_spec,
+                    config)
+
+
+class TestPayloadDigest:
+    def test_stable_for_equal_profiles(self):
+        from repro.core.profile import profile_from_trace
+        from repro.experiments.cache import payload_digest
+        a = payload_digest(profile_from_trace(small_trace()))
+        b = payload_digest(profile_from_trace(small_trace()))
+        assert a == b
+        assert len(a) == 64
+
+    def test_differs_for_different_profiles(self):
+        from repro.core.profile import profile_from_trace
+        from repro.experiments.cache import payload_digest
+        other = make_trace([(1, 0, 65536, "read", 0.0)],
+                           name="cached", file_sizes={1: 65536})
+        assert payload_digest(profile_from_trace(small_trace())) != \
+            payload_digest(profile_from_trace(other))
+
+    def test_prepared_factory_keys_like_unprepared(self, config):
+        """Shipping a factory by digest must not change cache keys."""
+        from repro.core.profile import profile_from_trace
+        from repro.experiments.cache import policy_token
+        from repro.experiments.figures import FlexFetchFactory
+        from repro.experiments.parallel import _prepare_factory
+        factory = FlexFetchFactory(
+            profile=profile_from_trace(small_trace()),
+            loss_rate=0.25, stage_length=40.0)
+        assert policy_token(_prepare_factory(factory)) == \
+            policy_token(factory)

@@ -12,9 +12,11 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.figures import FlexFetchFactory
 from repro.experiments.parallel import (
     ParallelSweepExecutor,
+    ProgramRef,
     SweepCellError,
     SweepJob,
     _execute_job,
+    stage_payload,
 )
 from repro.experiments.runner import ProgramSet, run_sweep
 from tests.conftest import make_trace
@@ -123,8 +125,11 @@ class TestWorkerFailure:
 
 class TestJobExecution:
     def test_execute_job_matches_direct_run(self, config, programs):
+        spec = programs.specs[0].prepared()
+        ref = ProgramRef.of(spec)
+        stage_payload(ref.digest, spec.trace)
         job = SweepJob(index=0, curve="Disk-only",
-                       programs=programs.specs,
+                       programs=(ref,),
                        policy_factory=DiskOnlyPolicy,
                        wnic_spec=config.wnic_spec, config=config)
         direct = ParallelSweepExecutor(1).run_sweep(
@@ -161,3 +166,70 @@ class TestParallelWithCache:
         assert mixed.live_runs == len(specs) - 1
         assert [p.latency for p in curves["Disk-only"]] == \
             [s.latency for s in specs]
+
+
+class TestJobPayloadSize:
+    """SweepJob pickles must not scale with trace length."""
+
+    BYTE_BUDGET = 4096
+
+    def _job_bytes(self, trace, config):
+        import pickle
+
+        from repro.core.profile import profile_from_trace
+        from repro.experiments.figures import FlexFetchFactory
+        from repro.experiments.parallel import _prepare_factory
+        spec = ProgramSpec(trace).prepared()
+        ref = ProgramRef.of(spec)
+        stage_payload(ref.digest, spec.trace)
+        factory = _prepare_factory(FlexFetchFactory(
+            profile=profile_from_trace(trace), loss_rate=0.25,
+            stage_length=40.0))
+        job = SweepJob(index=0, curve="FlexFetch", programs=(ref,),
+                       policy_factory=factory,
+                       wnic_spec=config.wnic_spec, config=config)
+        return len(pickle.dumps(job))
+
+    def test_fig3_cell_job_stays_under_byte_budget(self, config):
+        from repro.traces.synth import generate_thunderbird
+        size = self._job_bytes(generate_thunderbird(config.seed), config)
+        assert size < self.BYTE_BUDGET, \
+            f"fig3 SweepJob pickles to {size} B (> {self.BYTE_BUDGET})"
+
+    def test_job_size_independent_of_trace_length(self, config):
+        from repro.traces.synth import generate_thunderbird
+        tiny = self._job_bytes(small_trace(), config)
+        big = self._job_bytes(generate_thunderbird(config.seed), config)
+        # 2908 records vs 8 — the pickles differ only in digest noise.
+        assert abs(big - tiny) < 128, (tiny, big)
+
+
+class TestWorkerClamp:
+    """workers > pending cells must not spawn idle processes."""
+
+    def test_pool_clamped_to_pending_cells(self, config, programs):
+        lines = []
+        executor = ParallelSweepExecutor(8)
+        specs = config.latency_points()          # 2 points x 1 policy
+        executor.run_sweep(programs, {"Disk-only": DiskOnlyPolicy},
+                           specs, config, progress=lines.append)
+        assert any("clamped 8 -> 2" in line for line in lines)
+
+    def test_single_pending_cell_falls_back_to_serial(self, config,
+                                                      programs):
+        lines = []
+        executor = ParallelSweepExecutor(4)
+        executor.run_sweep(programs, {"Disk-only": DiskOnlyPolicy},
+                           [config.wnic_spec], config,
+                           progress=lines.append)
+        assert any("running serially" in line for line in lines)
+        assert executor.live_runs == 1
+
+    def test_clamped_run_is_bit_identical_to_serial(self, config,
+                                                    programs):
+        facts = policies(programs.specs[0].trace)
+        serial = ParallelSweepExecutor(1).run_sweep(
+            programs, facts, [config.wnic_spec], config)
+        clamped = ParallelSweepExecutor(16).run_sweep(
+            programs, facts, [config.wnic_spec], config)
+        assert clamped == serial

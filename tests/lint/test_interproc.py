@@ -195,6 +195,33 @@ def sweep(executor: ParallelSweepExecutor, specs, config):
         assert "ParallelSweepExecutor.run_sweep fork boundary" \
             in findings[0].message
 
+    def test_mutable_payloads_staged_into_worker_registry(self):
+        source = (FIXTURES / "r7_stage_bad.pysnippet").read_text(
+            encoding="utf-8")
+        findings = lint_source(source, path="parallel.py",
+                               package_rel=PARALLEL,
+                               select=frozenset({"R7"}))
+        kinds = sorted(f.message.split("(")[1].split(")")[0]
+                       for f in findings)
+        assert kinds == ["a dict literal", "a list comprehension",
+                         "bytearray"]
+        assert all("worker payload registry" in f.message
+                   for f in findings)
+
+    def test_immutable_staged_payloads_are_clean(self):
+        source = (FIXTURES / "r7_stage_good.pysnippet").read_text(
+            encoding="utf-8")
+        assert lint_source(source, path="parallel.py",
+                           package_rel=PARALLEL,
+                           select=frozenset({"R7"})) == []
+
+    def test_current_tree_stages_only_immutable_payloads(self):
+        src = REPO_ROOT / "src" / "repro"
+        flagged = [f for f in lint_paths([src],
+                                         select=frozenset({"R7"}))
+                   if "payload registry" in f.message]
+        assert flagged == []
+
 
 # ----------------------------------------------------------------------
 # R8 — cache-key soundness (the stale-cache regression)
