@@ -168,11 +168,15 @@ EXIT_PARTIAL = 3
 def _cmd_sweep(args: argparse.Namespace) -> int:
     """Supervised, journaled, resumable figure sweep."""
     import json as _json
+    import tempfile
 
     from repro.experiments.journal import SweepJournal
     from repro.experiments.parallel import (
         ParallelSweepExecutor,
+        enable_profiling,
         failure_manifest,
+        merged_profile_stats,
+        profile_report,
     )
     from repro.experiments.supervisor import RetryPolicy
     from repro.faults.chaos import ChaosSpec
@@ -202,13 +206,35 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     executor = ParallelSweepExecutor(
         args.workers, cache=cache, retry=retry, timeout=args.timeout,
         journal=journal, partial=args.partial, chaos=chaos)
+    profiling = args.profile or args.profile_out
+    profile_dir = None
+    if profiling:
+        # Armed before the pool forks so workers inherit the setting;
+        # each live cell dumps one .prof the parent merges below.
+        profile_dir = tempfile.mkdtemp(prefix="flexfetch-profile-")
+        enable_profiling(profile_dir)
     try:
         result = builder(config, panels=args.panel, progress=progress,
                          executor=executor)
     finally:
+        if profiling:
+            enable_profiling(None)
         if journal is not None:
             journal.close()
     print(render_figure(result))
+
+    if profiling:
+        assert profile_dir is not None
+        stats = merged_profile_stats(profile_dir)
+        if stats is None:
+            print("profile: no cells ran live (all cached/journaled);"
+                  " nothing to report", file=sys.stderr)
+        else:
+            print(profile_report(stats, top=args.profile_top), end="")
+            if args.profile_out:
+                stats.dump_stats(args.profile_out)
+                print(f"merged profile written to {args.profile_out}",
+                      file=sys.stderr)
 
     cells = executor.live_runs + executor.cache_hits + \
         executor.journal_hits + len(executor.failures)
@@ -403,6 +429,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fault injection for the orchestrator,"
                               " e.g. 'kill-prob=0.5,corrupt-prob=0.3'"
                               " (chaos testing)")
+    p_sweep.add_argument("--profile", action="store_true",
+                         help="cProfile every live cell in its worker;"
+                              " print a merged top-N cumulative report"
+                              " after the sweep")
+    p_sweep.add_argument("--profile-out", metavar="FILE",
+                         help="also dump the merged profile as a pstats"
+                              " file (implies --profile)")
+    p_sweep.add_argument("--profile-top", type=int, default=25,
+                         metavar="N",
+                         help="rows in the merged profile report"
+                              " (default 25)")
 
     p_inspect = sub.add_parser(
         "inspect", help="burst/think structure report of a scenario")

@@ -37,6 +37,9 @@ from repro.core.policies import Policy, RequestContext
 from repro.devices.disk import DiskState
 from repro.units import Seconds
 
+_IDLE = DiskState.IDLE.value
+_STANDBY = DiskState.STANDBY.value
+
 
 @dataclass(frozen=True, slots=True)
 class BlueFSConfig:
@@ -82,13 +85,16 @@ class BlueFSPolicy(Policy):
         self.ghost_hint_energy = 0.0
         self.ghost_spinups = 0
         self.decision_log: list[tuple[float, DataSource]] = []
+        self._seen_spindowns = 0
+        self._use_time = self.config.cost_metric == "time"
+        self._investment: float | None = None
 
     # ------------------------------------------------------------------
     def choose(self, ctx: RequestContext) -> DataSource:
         assert self.env is not None
         d, n = self.env.cost_model.marginal_pair(ctx.now, ctx.nbytes,
                                                  ctx.op)
-        if self.config.cost_metric == "time":
+        if self._use_time:
             cost_d, cost_n = d.time, n.time
         else:
             cost_d, cost_n = d.energy, n.energy
@@ -105,17 +111,21 @@ class BlueFSPolicy(Policy):
         if source is DataSource.NETWORK:
             # What would this request have cost on a spinning disk?
             e_active = self.env.cost_model.disk_marginal(
-                ctx.nbytes, from_state=DiskState.IDLE.value).energy
+                ctx.nbytes, from_state=_IDLE).energy
             actual = float(getattr(result, "energy", 0.0))
             self.ghost_hint_energy += max(0.0, actual - e_active)
             if (self.config.hints_keep_disk_alive
                     and actual > e_active
-                    and disk.state != DiskState.STANDBY.value):
+                    and disk.state != _STANDBY):
                 disk.note_activity(ctx.now)
-            investment = self.env.cost_model.disk_transition_investment() \
-                * self.config.hint_threshold_factor
+            investment = self._investment
+            if investment is None:
+                # Pure function of the frozen disk spec; computed once.
+                investment = self._investment = \
+                    self.env.cost_model.disk_transition_investment() \
+                    * self.config.hint_threshold_factor
             if (self.ghost_hint_energy >= investment
-                    and disk.state == DiskState.STANDBY.value):
+                    and disk.state == _STANDBY):
                 disk.force_spinup(ctx.now)
                 self.ghost_spinups += 1
                 self.ghost_hint_energy = 0.0
@@ -132,6 +142,6 @@ class BlueFSPolicy(Policy):
         """Hints expire when the disk spins down (window closed)."""
         assert self.env is not None
         spindowns = self.env.disk.spindown_count
-        if spindowns > getattr(self, "_seen_spindowns", 0):
+        if spindowns > self._seen_spindowns:
             self._seen_spindowns = spindowns
             self.ghost_hint_energy = 0.0

@@ -45,6 +45,8 @@ class RequestRouter:
         self.policy = policy
         self.faults = faults
         self.checker = checker
+        self._disk_service = env.service_for(DataSource.DISK)
+        self._wnic_service = env.service_for(DataSource.NETWORK)
         self._avoid_until = {DataSource.DISK: float("-inf"),
                              DataSource.NETWORK: float("-inf")}
         self.fault_retries: dict[str, int] = {}
@@ -67,21 +69,31 @@ class RequestRouter:
                 when: Seconds, op: OpType
                 ) -> tuple[DataSource, ServiceOutcome]:
         """Policy-route one extent; returns (actual source, result)."""
+        spec = prog.spec
+        policy = self.policy
+        offset = extent.start * BLOCK_SIZE
         ctx = RequestContext(
-            now=when, program=prog.name, profiled=prog.spec.profiled,
-            disk_pinned=prog.spec.disk_pinned, inode=extent.inode,
-            offset=extent.start * BLOCK_SIZE, nbytes=extent.nbytes, op=op)
-        source = self.policy.route(ctx)
+            now=when, program=prog.name, profiled=spec.profiled,
+            disk_pinned=spec.disk_pinned, inode=extent.inode,
+            offset=offset, nbytes=extent.nbytes, op=op)
+        source = policy.route(ctx)
         if self.faults is None:
-            result = self._service_extent(extent, source, when, op)
+            # Inlined _service_extent: this is the per-extent hot path.
+            svc = (self._disk_service if source is DataSource.DISK
+                   else self._wnic_service)
+            result = svc.transfer(
+                when, extent.nbytes, inode=extent.inode, offset=offset,
+                npages=extent.npages,
+                direction=(Direction.RECV if op is OpType.READ
+                           else Direction.SEND))
         else:
             source, result = self._service_with_recovery(
                 prog, extent, source, when, op, ctx)
         if op is OpType.READ:
             self.env.kernel.complete_fetch(extent, result.completion)
-        if not prog.spec.profiled and source is DataSource.DISK:
-            self.policy.on_external_disk_request(when)
-        self.policy.on_serviced(ctx, source, result)
+        if not spec.profiled and source is DataSource.DISK:
+            policy.on_external_disk_request(when)
+        policy.on_serviced(ctx, source, result)
         if self.checker is not None:
             self.checker.on_service(result, program=prog.name,
                                     source=source.value)

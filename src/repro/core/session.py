@@ -57,8 +57,10 @@ from repro.devices.dpm import SpindownPolicy
 from repro.devices.specs import AIRONET_350, HITACHI_DK23DA, DiskSpec, WnicSpec
 from repro.faults.invariants import InvariantChecker
 from repro.faults.schedule import FaultSchedule
-from repro.sim.clock import MB
+from repro.sim.clock import MB, TIME_EPSILON
 from repro.sim.engine import EventLoop, SimulationError
+from repro.sim.plan import PlanCursor, plan_for
+from repro.traces.compile import OPS_BY_CODE
 from repro.traces.record import OpType
 from repro.units import Bytes
 
@@ -89,6 +91,15 @@ class SimulationSession:
         self._request_count = 0
         self._materialised = False
         self._ran = False
+        #: the sink set when any sink is attached, else None.  Dispatch
+        #: into an empty set still costs a fan-out call per extent, so
+        #: the replay loops skip it entirely; resolved once at run()
+        #: (sinks cannot be added mid-run, only disabled).
+        self._sinks_hot: SinkSet | None = None
+        self._fast_path = True
+        #: set by :meth:`run`: True when the replay consumed a
+        #: :class:`~repro.sim.plan.BurstPlan` instead of the event loop.
+        self.used_fast_path = False
 
     # ------------------------------------------------------------------
     # builder surface
@@ -156,6 +167,19 @@ class SimulationSession:
         self._strict = strict
         return self
 
+    def with_fast_path(self, enabled: bool = True) -> SimulationSession:
+        """Toggle the BurstPlan fast path (on by default).
+
+        The fast path replays a precomputed kernel-path plan with a
+        flat clock instead of driving the event loop; it engages only
+        when the replay is plan-shaped (one all-READ program, no
+        faults, no strict checking) and is bit-identical when it does.
+        Turning it off forces the event loop — parity tests do.
+        """
+        self._configure()
+        self._fast_path = enabled
+        return self
+
     def add_sink(self, sink: MetricsSink) -> SimulationSession:
         """Attach a telemetry sink (any number may ride along)."""
         if self._ran:
@@ -212,65 +236,134 @@ class SimulationSession:
     # ------------------------------------------------------------------
     def _process(self, prog: ProgramDriver) -> None:
         now = self.loop.now
-        rec = prog.current
-        self._request_count += 1
-        if self._checker is not None:
-            self._checker.on_clock(now, self.env)
-            self._checker.on_record(prog.name, prog.index, rec.size)
-        self.env.advance(now)
-        self.policy.on_tick(now)
-
-        if rec.op is OpType.READ:
-            extents = self.env.kernel.read(rec.pid, rec.inode, rec.offset,
-                                           rec.size, now)
-            completion = now
-            for extent in extents:
-                _source, result = self.router.service(
-                    prog, extent, completion, OpType.READ)
-                completion = result.completion
-                self.sinks.on_service(prog.name, _source.value,
-                                      extent.nbytes, result.energy,
-                                      result.completion)
-        else:
-            forced = self.env.kernel.write(rec.pid, rec.inode, rec.offset,
-                                           rec.size, now)
-            completion = now  # async write-back: write() returns at once
-            for extent in forced:
-                # Forced evictions must hit a device immediately; they
-                # run asynchronously and do not delay the program.
-                source, result = self.router.service(
-                    prog, extent, now, OpType.WRITE)
-                self.sinks.on_service(prog.name, source.value,
-                                      extent.nbytes, result.energy,
-                                      result.completion)
-
-        # Laptop-mode opportunistic flush.
-        flush = self.env.kernel.plan_writeback(
-            completion, disk_active=self.env.disk_active)
-        for extent in flush:
-            source, result = self.router.service(
-                prog, extent, completion, OpType.WRITE)
-            self.sinks.on_service(prog.name, source.value,
-                                  extent.nbytes, result.energy,
-                                  result.completion)
-
-        if prog.spec.profiled and rec.size > 0:
-            # Demand-level observation (§2.1): every data-moving call,
-            # cached or not, with the application's byte count.
-            self.policy.on_syscall(RequestContext(
-                now=now, program=prog.name, profiled=True,
-                disk_pinned=prog.spec.disk_pinned, inode=rec.inode,
-                offset=rec.offset, nbytes=rec.size, op=rec.op),
-                now, completion)
-            self.sinks.on_syscall(prog.name, rec.op.value, rec.size, now)
-
-        prog.last_completion = completion
+        completion = self._service_record(prog, now)
         think = prog.advance()
         if think is None:
             return
         self.loop.schedule_at(completion + think,
                               lambda p=prog: self._process(p),
                               label=f"{prog.name}[{prog.index}]")
+
+    def _service_record(self, prog: ProgramDriver,
+                        now: Seconds) -> float:
+        """Service one record at ``now``; returns its completion time.
+
+        The single body both replay modes share: the event loop calls
+        it from :meth:`_process`, the BurstPlan fast path from its flat
+        clock loop (with the kernel surface swapped for a
+        :class:`~repro.sim.plan.PlanCursor`).
+        """
+        # Index the compiled columns directly — same fields a ReplayOp
+        # would carry, minus one object allocation per record.
+        i = prog.index
+        pid = prog.pids[i]
+        inode = prog.inodes[i]
+        offset = prog.offsets[i]
+        size = prog.sizes[i]
+        op = OPS_BY_CODE[prog.ops[i]]
+        self._request_count += 1
+        if self._checker is not None:
+            self._checker.on_clock(now, self.env)
+            self._checker.on_record(prog.name, prog.index, size)
+        env = self.env
+        kernel = env.kernel
+        policy = self.policy
+        service = self.router.service
+        sinks = self._sinks_hot
+        # Inlined env.advance(now): one frame per record adds up.
+        env.disk.advance_to(now)
+        env.wnic.advance_to(now)
+        policy.on_tick(now)
+
+        if op is OpType.READ:
+            extents = kernel.read(pid, inode, offset, size, now)
+            completion = now
+            for extent in extents:
+                _source, result = service(
+                    prog, extent, completion, OpType.READ)
+                completion = result.completion
+                if sinks is not None:
+                    sinks.on_service(prog.name, _source.value,
+                                     extent.nbytes, result.energy,
+                                     result.completion)
+        else:
+            forced = kernel.write(pid, inode, offset, size, now)
+            completion = now  # async write-back: write() returns at once
+            for extent in forced:
+                # Forced evictions must hit a device immediately; they
+                # run asynchronously and do not delay the program.
+                source, result = service(prog, extent, now, OpType.WRITE)
+                if sinks is not None:
+                    sinks.on_service(prog.name, source.value,
+                                     extent.nbytes, result.energy,
+                                     result.completion)
+
+        # Laptop-mode opportunistic flush.
+        flush = kernel.plan_writeback(
+            completion, disk_active=env.disk_active)
+        for extent in flush:
+            source, result = service(prog, extent, completion,
+                                     OpType.WRITE)
+            if sinks is not None:
+                sinks.on_service(prog.name, source.value,
+                                 extent.nbytes, result.energy,
+                                 result.completion)
+
+        if prog.spec.profiled and size > 0:
+            # Demand-level observation (§2.1): every data-moving call,
+            # cached or not, with the application's byte count.
+            policy.on_syscall(RequestContext(
+                now=now, program=prog.name, profiled=True,
+                disk_pinned=prog.spec.disk_pinned, inode=inode,
+                offset=offset, nbytes=size, op=op),
+                now, completion)
+            if sinks is not None:
+                sinks.on_syscall(prog.name, op.value, size, now)
+
+        prog.last_completion = completion
+        return completion
+
+    # ------------------------------------------------------------------
+    # BurstPlan fast path
+    # ------------------------------------------------------------------
+    def _burst_plan(self):
+        """The fast path's plan, or None when it must disengage.
+
+        Event-granular replay stays in charge whenever dynamic state
+        the plan cannot capture is present: multiple programs
+        interleave on the shared cache and disk, a fault schedule
+        perturbs device behaviour mid-run, or strict invariant checking
+        wants to observe the event clock.  Writes disqualify a trace
+        inside :func:`~repro.sim.plan.plan_for` itself.
+        """
+        if (len(self.programs) != 1 or self.faults is not None
+                or self._checker is not None):
+            return None
+        return plan_for(self._program_specs[0].trace,
+                        self._memory_bytes, self._seed)
+
+    def _replay_plan(self, prog: ProgramDriver) -> None:
+        """Flat-clock replay of one program over its BurstPlan.
+
+        Clock semantics mirror the event loop exactly: the first record
+        fires at ``max(start_time, 0.0)`` and each next record at
+        ``max(completion + think, now)`` — the same clamp
+        ``schedule_at`` applies when it pins an event time.
+        """
+        if prog.done:
+            return
+        if prog.start_time < -TIME_EPSILON:
+            raise SimulationError(
+                f"cannot schedule at {prog.start_time} before now 0.0")
+        now = max(prog.start_time, 0.0)
+        while True:
+            completion = self._service_record(prog, now)
+            think = prog.advance()
+            if think is None:
+                return
+            t = completion + think
+            if t > now:
+                now = t
 
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
@@ -281,15 +374,28 @@ class SimulationSession:
                 " (policies and devices are stateful)")
         self._materialise()
         self._ran = True
+        plan = self._burst_plan() if self._fast_path else None
+        self.used_fast_path = plan is not None
+        if plan is not None:
+            # Swap the kernel surface for the plan replayer before the
+            # policy attaches — every residency query and extent fetch
+            # from here on is answered from the frozen plan.
+            cursor = PlanCursor(plan)
+            self.env.kernel = cursor
+            self.env.vfs = cursor
         self.policy.attach(self.env)
         self.policy.begin_run(0.0)
         self.sinks.on_run_begin(self.policy.name, 0.0)
-        for prog in self.programs:
-            if not prog.done:
-                self.loop.schedule_at(prog.start_time,
-                                      lambda p=prog: self._process(p),
-                                      label=f"{prog.name}[0]")
-        self.loop.run()
+        self._sinks_hot = self.sinks if len(self.sinks) else None
+        if plan is not None:
+            self._replay_plan(self.programs[0])
+        else:
+            for prog in self.programs:
+                if not prog.done:
+                    self.loop.schedule_at(prog.start_time,
+                                          lambda p=prog: self._process(p),
+                                          label=f"{prog.name}[0]")
+            self.loop.run()
         end_time = max((p.last_completion for p in self.programs),
                        default=0.0)
         # Asynchronous flushes and in-flight transitions can commit the

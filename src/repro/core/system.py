@@ -31,6 +31,8 @@ from repro.traces.compile import CompiledTrace
 from repro.traces.trace import Trace
 from repro.units import Bytes, Seconds
 
+_STANDBY = DiskState.STANDBY.value
+
 
 class MobileSystem:
     """Shared environment: devices, kernel path, and disk layout."""
@@ -84,7 +86,7 @@ class MobileSystem:
     @property
     def disk_active(self) -> bool:
         """Disk spinning (idle or active)?"""
-        return self.disk.state != DiskState.STANDBY.value
+        return self.disk._state != _STANDBY
 
     def advance(self, now: Seconds) -> None:
         """Advance both devices (DPM timers fire as needed)."""

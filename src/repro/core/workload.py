@@ -113,11 +113,13 @@ class ProgramDriver:
         compiled = self.spec.trace
         assert isinstance(compiled, CompiledTrace)
         self.compiled = compiled
-        self._ops = compiled.ops
-        self._pids = memoryview(compiled.pids).cast("q")
-        self._inodes = memoryview(compiled.inodes).cast("q")
-        self._offsets = memoryview(compiled.offsets).cast("q")
-        self._sizes = memoryview(compiled.sizes).cast("q")
+        #: raw compiled columns; the replay loop indexes them directly
+        #: instead of materialising a ReplayOp per record.
+        self.ops = compiled.ops
+        self.pids = memoryview(compiled.pids).cast("q")
+        self.inodes = memoryview(compiled.inodes).cast("q")
+        self.offsets = memoryview(compiled.offsets).cast("q")
+        self.sizes = memoryview(compiled.sizes).cast("q")
         #: closed-loop think times, precomputed at compile time.
         self.thinks = memoryview(compiled.thinks).cast("d")
         self.index = 0
@@ -147,8 +149,8 @@ class ProgramDriver:
     def current(self) -> ReplayOp:
         """The record the replay cursor points at."""
         i = self.index
-        return ReplayOp(self._pids[i], self._inodes[i], self._offsets[i],
-                        self._sizes[i], OPS_BY_CODE[self._ops[i]])
+        return ReplayOp(self.pids[i], self.inodes[i], self.offsets[i],
+                        self.sizes[i], OPS_BY_CODE[self.ops[i]])
 
     def advance(self) -> float | None:
         """Move past the current record; returns the recorded think

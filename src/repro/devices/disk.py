@@ -45,6 +45,14 @@ class DiskState(str, Enum):
     SLEEP = "sleep"
 
 
+# Plain-string aliases for the hot paths: enum member + ``.value``
+# access is a descriptor call apiece, measurable at request rates.
+_ACTIVE = DiskState.ACTIVE.value
+_IDLE = DiskState.IDLE.value
+_STANDBY = DiskState.STANDBY.value
+_SLEEP = DiskState.SLEEP.value
+
+
 @dataclass(frozen=True, slots=True)
 class DiskServiceResult:
     """Outcome of one disk request.
@@ -158,23 +166,22 @@ class HardDisk(PowerStateMachine):
     def _apply_dpm(self, time: float) -> None:
         """Fire timeout transitions occurring within (last, time]:
         idle -> standby, and (when enabled) standby -> sleep."""
-        if self.state == DiskState.IDLE.value:
-            deadline = max(self.last_activity, self.busy_until) \
+        if self._state == _IDLE:
+            deadline = max(self._last_activity, self._busy_until) \
                 + self._spindown_policy.timeout()
             if time >= deadline:
                 self.meter.advance(deadline)
-                done = self.transition(deadline, DiskState.STANDBY.value,
+                done = self.transition(deadline, _STANDBY,
                                        bucket="disk.spindown")
                 self.spindown_count += 1
                 self._quiet_since = done
-        if self.state == DiskState.STANDBY.value \
+        if self._state == _STANDBY \
                 and self.spec.sleep_timeout is not None:
             entered = max(self.busy_until, self.last_activity)
             deadline = entered + self.spec.sleep_timeout
             if time >= deadline:
                 self.meter.advance(deadline)
-                self.transition(deadline, DiskState.SLEEP.value,
-                                bucket="disk.to-sleep")
+                self.transition(deadline, _SLEEP, bucket="disk.to-sleep")
                 self.sleep_count += 1
 
     def _note_quiet_period_end(self, spinup_time: Seconds) -> None:
@@ -241,52 +248,57 @@ class HardDisk(PowerStateMachine):
         if size_bytes < 0:
             raise ValueError("negative request size")
         self.advance_to(time)
-        e0 = self.meter.total()
-        waited = self.busy_until > time and \
-            self.state == DiskState.STANDBY.value
-        start = max(time, self.busy_until)
-        self.meter.advance(start)
-        e_pre = self.meter.total()
+        meter = self.meter
+        spec = self.spec
+        # sum(energy.values()) inlines meter.total(): with no `upto` the
+        # tail term is zero and the sums are bit-identical.
+        e0 = sum(meter._energy.values())
+        busy = self._busy_until
+        waited = busy > time and self._state == _STANDBY
+        start = time if time >= busy else busy
+        meter.advance(start)
+        e_pre = sum(meter._energy.values())
 
         spun_up = False
-        if self.state == DiskState.SLEEP.value:
+        state = self._state
+        if state == _SLEEP:
             self._note_quiet_period_end(start)
-            start = self.transition(start, DiskState.ACTIVE.value,
-                                    bucket="disk.wake")
+            start = self.transition(start, _ACTIVE, bucket="disk.wake")
             self.spinup_count += 1
             spun_up = True
-        elif self.state == DiskState.STANDBY.value:
+        elif state == _STANDBY:
             self._note_quiet_period_end(start)
             if self._faults is not None and self._faults.affects_disk:
                 start, gave_up = self._attempt_spinup(start)
                 if gave_up:
-                    e1 = self.meter.total()
+                    e1 = meter.total()
                     energy = e1 - e_pre if not waited else e1 - e0
                     return DiskServiceResult(
                         arrival=time, start=start, first_byte=start,
                         completion=start, energy=energy, spun_up=False,
                         waited_for_spindown=waited, failed=True)
             else:
-                start = self.transition(start, DiskState.ACTIVE.value,
+                start = self.transition(start, _ACTIVE,
                                         bucket="disk.spinup")
                 self.spinup_count += 1
             spun_up = True
-        elif self.state == DiskState.IDLE.value:
-            self.transition(start, DiskState.ACTIVE.value)
+        elif state == _IDLE:
+            self.transition(start, _ACTIVE)
 
         position = self.positioning_time(block)
         first_byte = start + position
-        transfer = seconds_to_transfer(size_bytes, self.spec.bandwidth_bps)
-        completion = first_byte + transfer
-        self.meter.set_power(start, self.spec.active_power, "disk.active")
-        self.meter.advance(completion)
+        # size >= 0 and the spec validates bandwidth > 0, so the plain
+        # division is exactly seconds_to_transfer without the calls.
+        completion = first_byte + size_bytes / spec.bandwidth_bps
+        meter.set_power(start, spec.active_power, "disk.active")
+        meter.advance(completion)
         # Request done: platters keep spinning (idle) until the DPM timer.
-        self.transition(completion, DiskState.IDLE.value)
+        self.transition(completion, _IDLE)
         self.note_activity(completion)
         self.mark_busy_until(completion)
         if block is not None:
             self._head_position = block + (block_count or 0)
-        e1 = self.meter.total()
+        e1 = sum(meter._energy.values())
         # Idle-wait before start belongs to the gap, not the request.
         energy = e1 - e_pre if not waited else e1 - e0
         return DiskServiceResult(
@@ -371,19 +383,20 @@ class HardDisk(PowerStateMachine):
         Does not mutate the machine.  ``from_state`` defaults to the
         current state; sequential requests skip the positioning charge.
         """
-        state = from_state or self.state
+        state = from_state or self._state
+        spec = self.spec
         t = 0.0
         e = 0.0
-        if state == DiskState.SLEEP.value:
-            t += self.spec.wake_time
-            e += self.spec.wake_energy
-        elif state == DiskState.STANDBY.value:
-            t += self.spec.spinup_time
-            e += self.spec.spinup_energy
-        position = 0.0 if sequential else self.spec.access_time
-        transfer = seconds_to_transfer(size_bytes, self.spec.bandwidth_bps)
+        if state == _SLEEP:
+            t += spec.wake_time
+            e += spec.wake_energy
+        elif state == _STANDBY:
+            t += spec.spinup_time
+            e += spec.spinup_energy
+        position = 0.0 if sequential else spec.access_time
+        transfer = seconds_to_transfer(size_bytes, spec.bandwidth_bps)
         t += position + transfer
-        e += (position + transfer) * self.spec.active_power
+        e += (position + transfer) * spec.active_power
         return t, e
 
     def keep_alive_power(self) -> Watts:

@@ -20,7 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.sim.metrics import EnergyMeter, StateTimeline
-from repro.units import Joules, Seconds, Watts
+from repro.units import ABS_TOLERANCE, Joules, Seconds, Watts
+
+_TOL = ABS_TOLERANCE
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,6 +80,17 @@ class PowerStateMachine:
                     f"transition {t.src}->{t.dst} references unknown state")
         self._state = initial_state
         self._last_activity = start_time
+        # Hot-path lookup tables, immutable after construction (clones
+        # share them by reference): per-transition
+        # (time, energy, default label, destination power and bucket),
+        # and per-state nominal power / meter bucket.
+        self._state_powers = {s.name: s.power for s in states}
+        self._state_buckets = {s.name: f"{name}.{s.name}" for s in states}
+        self._transition_info = {
+            (t.src, t.dst): (t.time, t.energy, f"{name}.{t.src}->{t.dst}",
+                             self._state_powers[t.dst],
+                             self._state_buckets[t.dst])
+            for t in transitions}
         self.meter = EnergyMeter(start_time)
         self.meter.set_power(start_time, self._states[initial_state].power,
                              f"{name}.{initial_state}")
@@ -137,10 +150,18 @@ class PowerStateMachine:
         queue behind a transfer or a mode transition — and are clamped
         (the machine never rewinds).
         """
-        if time <= self.meter.last_time:
+        meter = self.meter
+        if time <= meter._last_time:
             return
         self._apply_dpm(time)
-        self.meter.advance(time)
+        # Inlined meter.advance(time): a DPM transition above may have
+        # moved the meter, so re-read last_time before integrating.
+        last = meter._last_time
+        if time > last:
+            power = meter._power
+            if power > _TOL:
+                meter._energy[meter._bucket] += power * (time - last)
+            meter._last_time = time
 
     def _apply_dpm(self, time: float) -> None:
         """Hook: fire timeout transitions occurring in (last, time]."""
@@ -154,30 +175,52 @@ class PowerStateMachine:
         destination state's power draw) until ``time + transition.time``.
         Returns the completion time.
         """
-        spec = self._transitions.get((self._state, dst))
-        if spec is None:
+        info = self._transition_info.get((self._state, dst))
+        if info is None:
             raise ValueError(
                 f"{self.name}: illegal transition {self._state!r}->{dst!r}")
-        self.meter.advance(time)
-        label = bucket or f"{self.name}.{self._state}->{dst}"
-        self.meter.add_impulse(spec.energy, label)
-        done = time + spec.time
+        tr_time, tr_energy, default_label, dst_power, dst_bucket = info
+        # Inlined meter sequence (advance / add_impulse / zero-power
+        # switching window / destination power).  The datasheet impulse
+        # covers the whole switching window, so no supplemental draw is
+        # charged during [time, done); the destination state's power
+        # applies from completion.  Bit-identical to the method calls:
+        # the zero-draw window integrates nothing either way.
+        meter = self.meter
+        last = meter._last_time
+        if time > last:
+            power = meter._power
+            if power > _TOL:
+                meter._energy[meter._bucket] += power * (time - last)
+            last = meter._last_time = time
+        meter._energy[bucket or default_label] += tr_energy
+        done = time + tr_time
+        if done > last:
+            meter._last_time = done
+        meter._power = dst_power
+        meter._bucket = dst_bucket
         self._state = dst
-        # The datasheet impulse covers the whole switching window, so no
-        # supplemental draw is charged during [time, done); the
-        # destination state's power applies from completion.
-        self.meter.set_power(time, 0.0, label)
-        self.meter.advance(done)
-        self.meter.set_power(done, self._states[dst].power,
-                             f"{self.name}.{dst}")
-        self.timeline.record(time, dst)
-        self._busy_until = max(self._busy_until, done)
+        # Inlined timeline.record(time, dst) — same monotonicity check,
+        # coalescing, and clamp, minus the call overhead.
+        tl = self.timeline
+        times = tl._times
+        last_t = times[-1]
+        if time < last_t - 1e-9:
+            raise ValueError(
+                f"timeline must be monotonic: {time} < {last_t}")
+        states = tl._states
+        if dst != states[-1]:
+            times.append(time if time > last_t else last_t)
+            states.append(dst)
+        if done > self._busy_until:
+            self._busy_until = done
         return done
 
     def set_state_power(self, time: float, *, bucket: str | None = None) -> None:
         """Re-assert the current state's nominal power draw at ``time``."""
-        self.meter.set_power(time, self._states[self._state].power,
-                             bucket or f"{self.name}.{self._state}")
+        state = self._state
+        self.meter.set_power(time, self._state_powers[state],
+                             bucket or self._state_buckets[state])
 
     def set_busy_power(self, time: float, watts: Watts, bucket: str) -> None:
         """Draw ``watts`` from ``time`` on (e.g. transfer power)."""
@@ -185,11 +228,13 @@ class PowerStateMachine:
 
     def note_activity(self, time: float) -> None:
         """Record demand activity (resets DPM idle timers)."""
-        self._last_activity = max(self._last_activity, time)
+        if time > self._last_activity:
+            self._last_activity = time
 
     def mark_busy_until(self, time: float) -> None:
         """Extend the busy horizon (queueing of back-to-back requests)."""
-        self._busy_until = max(self._busy_until, time)
+        if time > self._busy_until:
+            self._busy_until = time
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<{type(self).__name__} {self.name} state={self._state}"

@@ -44,6 +44,16 @@ class Direction(str, Enum):
     SEND = "send"   # write back to remote storage
 
 
+# Plain-string aliases and per-direction meter buckets for the hot
+# paths: enum ``.value`` access is a descriptor call apiece, and the
+# f-string bucket labels allocated per transfer at request rates.
+_CAM = WnicMode.CAM.value
+_PSM = WnicMode.PSM.value
+_DIR_BUCKET = {Direction.RECV: "wnic.recv", Direction.SEND: "wnic.send"}
+_PSM_DIR_BUCKET = {Direction.RECV: "wnic.psm-recv",
+                   Direction.SEND: "wnic.psm-send"}
+
+
 @dataclass(frozen=True, slots=True)
 class WnicServiceResult:
     """Outcome of one network request (see :class:`DiskServiceResult`).
@@ -119,14 +129,13 @@ class WirelessNic(PowerStateMachine):
     # ------------------------------------------------------------------
     def _apply_dpm(self, time: float) -> None:
         """Drop to PSM if CAM-idle past the 800 ms timeout."""
-        if self.state != WnicMode.CAM.value:
+        if self._state != _CAM:
             return
-        deadline = max(self.last_activity, self.busy_until) \
+        deadline = max(self._last_activity, self._busy_until) \
             + self.spec.cam_timeout
         if time >= deadline:
             self.meter.advance(deadline)
-            self.transition(deadline, WnicMode.PSM.value,
-                            bucket="wnic.doze")
+            self.transition(deadline, _PSM, bucket="wnic.doze")
             self.doze_count += 1
 
     # ------------------------------------------------------------------
@@ -148,25 +157,28 @@ class WirelessNic(PowerStateMachine):
         link latency, and throughput is derated by
         ``psm_bandwidth_factor``.
         """
-        start = max(time, self.busy_until)
-        beacon_wait = self.spec.beacon_interval \
-            - (start % self.spec.beacon_interval)
-        first_byte = start + beacon_wait + self.spec.latency
-        bandwidth = self.spec.bandwidth_bps * self.spec.psm_bandwidth_factor
+        spec = self.spec
+        meter = self.meter
+        start = max(time, self._busy_until)
+        beacon_wait = spec.beacon_interval \
+            - (start % spec.beacon_interval)
+        first_byte = start + beacon_wait + spec.latency
+        bandwidth = spec.bandwidth_bps * spec.psm_bandwidth_factor
         completion = first_byte + seconds_to_transfer(size_bytes, bandwidth)
-        busy_power = (self.spec.psm_recv_power
+        busy_power = (spec.psm_recv_power
                       if direction is Direction.RECV
-                      else self.spec.psm_send_power)
-        self.meter.advance(first_byte)
-        self.meter.set_power(first_byte, busy_power,
-                             f"wnic.psm-{direction.value}")
-        self.meter.advance(completion)
+                      else spec.psm_send_power)
+        meter.advance(first_byte)
+        meter.set_power(first_byte, busy_power,
+                        _PSM_DIR_BUCKET[direction])
+        meter.advance(completion)
         self.set_state_power(completion)
         self.note_activity(completion)
         self.mark_busy_until(completion)
         return WnicServiceResult(
             arrival=time, start=start, first_byte=first_byte,
-            completion=completion, energy=self.meter.total() - e_pre,
+            completion=completion,
+            energy=sum(meter._energy.values()) - e_pre,
             woke_up=False)
 
     def service(self, time: float, size_bytes: Bytes, *,
@@ -180,41 +192,47 @@ class WirelessNic(PowerStateMachine):
         if size_bytes < 0:
             raise ValueError("negative request size")
         self.advance_to(time)
-        start = max(time, self.busy_until)
-        self.meter.advance(start)
-        e_pre = self.meter.total()
+        meter = self.meter
+        busy = self._busy_until
+        start = time if time >= busy else busy
+        meter.advance(start)
+        # sum(energy.values()) inlines meter.total(): with no `upto` the
+        # tail term is zero and the sums are bit-identical.
+        e_pre = sum(meter._energy.values())
 
         if self._faults is not None and self._faults.affects_network:
             return self._service_with_faults(time, start, size_bytes,
                                              direction, e_pre)
 
-        if self._psm_eligible(size_bytes):
+        spec = self.spec
+        if (spec.psm_transfer_enabled
+                and size_bytes <= spec.psm_transfer_max_bytes
+                and self._state == _PSM):
             return self._service_in_psm(time, size_bytes, direction, e_pre)
 
         woke = False
-        if self.state == WnicMode.PSM.value:
-            start = self.transition(start, WnicMode.CAM.value,
-                                    bucket="wnic.wakeup")
+        if self._state == _PSM:
+            start = self.transition(start, _CAM, bucket="wnic.wakeup")
             self.wakeup_count += 1
             woke = True
 
-        first_byte = start + self.spec.latency
-        transfer = seconds_to_transfer(size_bytes, self.spec.bandwidth_bps)
-        completion = first_byte + transfer
-        busy_power = (self.spec.cam_recv_power
+        first_byte = start + spec.latency
+        # size >= 0 and the spec validates bandwidth > 0, so the plain
+        # division is exactly seconds_to_transfer without the calls.
+        completion = first_byte + size_bytes / spec.bandwidth_bps
+        busy_power = (spec.cam_recv_power
                       if direction is Direction.RECV
-                      else self.spec.cam_send_power)
+                      else spec.cam_send_power)
         # Latency portion is spent waiting in CAM idle; transfer at the
         # direction-dependent power.
-        self.meter.set_power(start, self.spec.cam_idle_power, "wnic.cam")
-        self.meter.advance(first_byte)
-        self.meter.set_power(first_byte, busy_power,
-                             f"wnic.{direction.value}")
-        self.meter.advance(completion)
+        meter.set_power(start, spec.cam_idle_power, "wnic.cam")
+        meter.advance(first_byte)
+        meter.set_power(first_byte, busy_power, _DIR_BUCKET[direction])
+        meter.advance(completion)
         self.set_state_power(completion)
         self.note_activity(completion)
         self.mark_busy_until(completion)
-        e1 = self.meter.total()
+        e1 = sum(meter._energy.values())
         return WnicServiceResult(
             arrival=time, start=start, first_byte=first_byte,
             completion=completion, energy=e1 - e_pre, woke_up=woke)
@@ -324,31 +342,31 @@ class WirelessNic(PowerStateMachine):
                          direction: Direction = Direction.RECV,
                          from_state: str | None = None) -> tuple[float, float]:
         """Pure estimate ``(time, energy)`` of a transfer; no mutation."""
-        state = from_state or self.state
-        if (self.spec.psm_transfer_enabled
-                and size_bytes <= self.spec.psm_transfer_max_bytes
-                and state == WnicMode.PSM.value):
+        state = from_state or self._state
+        spec = self.spec
+        if (spec.psm_transfer_enabled
+                and size_bytes <= spec.psm_transfer_max_bytes
+                and state == _PSM):
             # PSM fast path: expected half-beacon wait + derated rate.
-            bandwidth = self.spec.bandwidth_bps \
-                * self.spec.psm_bandwidth_factor
+            bandwidth = spec.bandwidth_bps * spec.psm_bandwidth_factor
             transfer = seconds_to_transfer(size_bytes, bandwidth)
-            busy_power = (self.spec.psm_recv_power
+            busy_power = (spec.psm_recv_power
                           if direction is Direction.RECV
-                          else self.spec.psm_send_power)
-            t = self.spec.beacon_interval / 2 + self.spec.latency + transfer
-            e = (self.spec.beacon_interval / 2 + self.spec.latency) \
-                * self.spec.psm_idle_power + transfer * busy_power
+                          else spec.psm_send_power)
+            t = spec.beacon_interval / 2 + spec.latency + transfer
+            e = (spec.beacon_interval / 2 + spec.latency) \
+                * spec.psm_idle_power + transfer * busy_power
             return t, e
         t = 0.0
         e = 0.0
-        if state == WnicMode.PSM.value:
-            t += self.spec.psm_to_cam_time
-            e += self.spec.psm_to_cam_energy
-        transfer = seconds_to_transfer(size_bytes, self.spec.bandwidth_bps)
-        busy_power = (self.spec.cam_recv_power
+        if state == _PSM:
+            t += spec.psm_to_cam_time
+            e += spec.psm_to_cam_energy
+        transfer = seconds_to_transfer(size_bytes, spec.bandwidth_bps)
+        busy_power = (spec.cam_recv_power
                       if direction is Direction.RECV
-                      else self.spec.cam_send_power)
-        t += self.spec.latency + transfer
-        e += self.spec.latency * self.spec.cam_idle_power
+                      else spec.cam_send_power)
+        t += spec.latency + transfer
+        e += spec.latency * spec.cam_idle_power
         e += transfer * busy_power
         return t, e

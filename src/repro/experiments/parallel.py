@@ -45,11 +45,16 @@ On top of the fan-out the executor layers the resilience story:
 
 from __future__ import annotations
 
+import cProfile
 import math
+import os
+import pstats
 import time
 import traceback
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
+from io import StringIO
+from pathlib import Path
 from typing import Any
 
 from repro.core.telemetry import RunResult
@@ -74,6 +79,7 @@ from repro.experiments.supervisor import (
 )
 from repro.faults.chaos import CacheChaos, ChaosInjector, ChaosSpec
 from repro.faults.schedule import FaultSpec
+from repro.sim.plan import plan_for, plan_key
 from repro.traces.compile import CompiledTrace
 from repro.units import BytesPerSecond, Seconds
 
@@ -205,12 +211,68 @@ class SweepJob:
     faults: FaultSpec | None = None
 
 
+#: Per-cell profiling sink, armed parent-side before the pool forks
+#: (like the payload registry, workers inherit the value copy-on-write).
+#: When set, every executed cell dumps a cProfile capture into it.
+_PROFILE_DIR: str | None = None
+
+
+def enable_profiling(directory: str | os.PathLike[str] | None) -> None:
+    """Arm (or with None, disarm) per-cell profiling.
+
+    Must be called in the sweep parent *before* the pool spawns: forked
+    workers inherit the armed value, and each cell they execute dumps
+    ``cell-<index>-<pid>.prof`` into ``directory``.  The parent merges
+    the dumps afterwards with :func:`merged_profile_stats`.
+    """
+    global _PROFILE_DIR
+    _PROFILE_DIR = None if directory is None else os.fspath(directory)
+
+
+def merged_profile_stats(directory: str | os.PathLike[str]
+                         ) -> pstats.Stats | None:
+    """Merge every per-cell ``cell-*.prof`` dump under ``directory``.
+
+    Returns None when no dump is readable.  Individual unreadable dumps
+    (e.g. a worker killed mid-write by supervision or chaos testing)
+    are skipped rather than failing the merge.
+    """
+    stats: pstats.Stats | None = None
+    for path in sorted(Path(directory).glob("cell-*.prof")):
+        try:
+            if stats is None:
+                stats = pstats.Stats(str(path))
+            else:
+                stats.add(str(path))
+        except Exception:  # noqa: BLE001 - partial dump, skip it
+            continue
+    return stats
+
+
+def profile_report(stats: pstats.Stats, *, top: int = 25) -> str:
+    """Top-``top`` cumulative-time lines of a merged profile, as text."""
+    out = StringIO()
+    stats.stream = out  # pstats writes to its stream attribute
+    stats.sort_stats("cumulative").print_stats(top)
+    return out.getvalue()
+
+
 def _execute_job(job: SweepJob) -> SweepPoint:
     """Worker entry point: run one cell (module-level, hence picklable)."""
     specs = [ref.resolve() for ref in job.programs]
     schedule = build_fault_schedule(job.faults, job.config.seed)
-    return run_point(lambda: list(specs), job.policy_factory,
-                     job.wnic_spec, job.config, faults=schedule)
+    if _PROFILE_DIR is None:
+        return run_point(lambda: list(specs), job.policy_factory,
+                         job.wnic_spec, job.config, faults=schedule)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return run_point(lambda: list(specs), job.policy_factory,
+                         job.wnic_spec, job.config, faults=schedule)
+    finally:
+        profiler.disable()
+        profiler.dump_stats(os.path.join(
+            _PROFILE_DIR, f"cell-{job.index}-{os.getpid()}.prof"))
 
 
 @dataclass(frozen=True, slots=True)
@@ -342,9 +404,14 @@ class ParallelSweepExecutor:
                  timeout: Seconds | None = None,
                  journal: SweepJournal | None = None,
                  partial: bool = False,
-                 chaos: ChaosSpec | None = None) -> None:
+                 chaos: ChaosSpec | None = None,
+                 clamp_to_cpus: bool = False) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if clamp_to_cpus:
+            # A pool wider than the machine only adds scheduling churn;
+            # benchmarks pass a nominal width and let the host decide.
+            workers = min(workers, os.cpu_count() or 1)
         self.workers = int(workers)
         self.cache = cache
         self.retry = retry or NO_RETRY
@@ -396,6 +463,17 @@ class ParallelSweepExecutor:
         refs = tuple(ProgramRef.of(spec) for spec in specs)
         for spec, ref in zip(specs, refs, strict=True):
             stage_payload(ref.digest, spec.trace)
+        if len(specs) == 1 and faults is None:
+            # Build the burst plan once, parent-side: plan_for memoises
+            # it process-wide, so forked workers (and every serial cell)
+            # inherit the finished plan copy-on-write instead of each
+            # re-walking the kernel path.  Staging it in the payload
+            # registry alongside the trace makes the sharing observable.
+            plan = plan_for(specs[0].compiled, config.memory_bytes,
+                            config.seed)
+            if plan is not None:
+                stage_payload(plan_key(plan.digest, config.memory_bytes,
+                                       config.seed), plan)
         factories = {name: _prepare_factory(factory)
                      for name, factory in policy_factories.items()}
         self._ensure_cache_chaos(config.seed)

@@ -17,6 +17,10 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass, field
 from collections.abc import Callable
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import EventLoop
 
 #: Priority for internal device/state bookkeeping at an instant.
 PRIORITY_DEVICE = 0
@@ -45,6 +49,10 @@ class Event:
     callback: Callable[[], None] = field(default=lambda: None)
     label: str = ""
     cancelled: bool = False
+    #: back-reference set while the event sits in a loop's heap, so a
+    #: direct ``event.cancel()`` keeps the loop's live/dead counters
+    #: exact.  Cleared when the event is popped (fired or discarded).
+    loop: EventLoop | None = None
 
     def __lt__(self, other: Event) -> bool:
         if self.time != other.time:
@@ -55,7 +63,11 @@ class Event:
 
     def cancel(self) -> None:
         """Mark the event dead; the loop discards it instead of firing."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.loop is not None:
+            self.loop._note_cancelled()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"

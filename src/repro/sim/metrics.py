@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 from collections.abc import Iterator
-from repro.units import Joules, Seconds, Watts, is_zero
+from repro.units import ABS_TOLERANCE, Joules, Seconds, Watts
 
 
 class StateTimeline:
@@ -113,16 +113,25 @@ class EnergyMeter:
         the meter safe under the out-of-order queries device queueing
         produces.
         """
-        dt = max(0.0, time - self._last_time)
-        if dt > 0.0 and not is_zero(self._power):
-            self._energy[self._bucket] += self._power * dt
-        self._last_time = max(time, self._last_time)
+        # Hot path: equivalent to the clamped-dt/is_zero form (power is
+        # never negative — set_power rejects it), minus the call overhead.
+        last = self._last_time
+        if time > last:
+            power = self._power
+            if power > ABS_TOLERANCE:
+                self._energy[self._bucket] += power * (time - last)
+            self._last_time = time
 
     def set_power(self, time: float, watts: Watts, bucket: str) -> None:
         """Advance to ``time`` then change the draw to ``watts``."""
         if watts < 0:
             raise ValueError(f"negative power: {watts}")
-        self.advance(time)
+        last = self._last_time
+        if time > last:
+            power = self._power
+            if power > ABS_TOLERANCE:
+                self._energy[self._bucket] += power * (time - last)
+            self._last_time = time
         self._power = watts
         self._bucket = bucket
 
@@ -144,10 +153,10 @@ class EnergyMeter:
 
     def total(self, upto: float | None = None) -> float:
         """Total joules, optionally integrating the tail up to ``upto``."""
-        extra = 0.0
         if upto is not None and upto > self._last_time:
-            extra = self._power * (upto - self._last_time)
-        return sum(self._energy.values()) + extra
+            return sum(self._energy.values()) \
+                + self._power * (upto - self._last_time)
+        return sum(self._energy.values())
 
     def breakdown(self) -> dict[str, float]:
         """Joules per named bucket (copy)."""

@@ -1,0 +1,145 @@
+"""Bitwise parity of the vectorized burst-cost kernel.
+
+Two independent equivalences keep the packed kernel honest:
+
+* **packed vs object** — ``_replay_requests`` dispatching to the packed
+  columns must reproduce ``_replay_object`` (a clone-driven replay of
+  the same requests) *exactly*, field for field, bit for bit;
+* **numpy vs scalar fallback** — with ``costmodel._np`` forced to None
+  the pure-Python column math must land on the same IEEE doubles as the
+  numpy path (one correctly-rounded int->float64 conversion and one
+  division per element either way).
+
+Hypothesis drives both over randomized stages; any drift — a reordered
+float reduction, a fused multiply, an off-by-one block placement —
+shows up as an exact-inequality counterexample.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import costmodel
+from repro.core.burst import ProfiledRequest
+from repro.core.costmodel import _replay_object, _replay_requests
+from repro.core.decision import DataSource
+from repro.devices.disk import HardDisk
+from repro.devices.layout import DiskLayout
+from repro.devices.specs import AIRONET_350, HITACHI_DK23DA
+from repro.devices.wnic import WirelessNic
+from repro.traces.record import OpType
+
+INODES = (1, 2, 3)
+#: an inode the layout does not know (exercises the average-seek path).
+UNPLACED_INODE = 99
+
+_request = st.builds(
+    ProfiledRequest,
+    inode=st.sampled_from(INODES + (UNPLACED_INODE,)),
+    offset=st.integers(0, 1 << 13).map(lambda v: v * 512),
+    size=st.integers(1, 1 << 20),
+    op=st.sampled_from([OpType.READ, OpType.WRITE]))
+
+_stage = st.lists(st.lists(_request, max_size=5), min_size=1, max_size=5)
+
+_think = st.floats(0.0, 30.0, allow_nan=False, allow_infinity=False)
+_now = st.floats(0.0, 100.0, allow_nan=False, allow_infinity=False)
+
+
+def _layout() -> DiskLayout:
+    layout = DiskLayout(seed=0)
+    for inode in INODES:
+        layout.add_file(inode, 8 << 20)
+    return layout
+
+
+def _thinks_for(stage, data):
+    return data.draw(st.lists(_think, min_size=len(stage),
+                              max_size=len(stage)))
+
+
+def _estimate(source, device_factory, stage, thinks, *, now, layout,
+              other_factory=None, min_duration=None, use_packed=True):
+    replay = _replay_requests if use_packed else _replay_object
+    return replay(source, device_factory(), stage, thinks, now=now,
+                  layout=layout,
+                  other_device=other_factory() if other_factory else None,
+                  min_duration=min_duration)
+
+
+class TestPackedVsObject:
+    """The packed kernel is a bit-exact clone of the object replay."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(stage=_stage, now=_now, data=st.data())
+    def test_disk_stage(self, stage, now, data):
+        thinks = _thinks_for(stage, data)
+        layout = _layout()
+        packed = _estimate(DataSource.DISK, lambda: HardDisk(HITACHI_DK23DA),
+                           stage, thinks, now=now, layout=layout)
+        obj = _estimate(DataSource.DISK, lambda: HardDisk(HITACHI_DK23DA),
+                        stage, thinks, now=now, layout=layout,
+                        use_packed=False)
+        assert packed == obj
+
+    @settings(max_examples=200, deadline=None)
+    @given(stage=_stage, now=_now, data=st.data())
+    def test_wnic_stage(self, stage, now, data):
+        thinks = _thinks_for(stage, data)
+        packed = _estimate(DataSource.NETWORK,
+                           lambda: WirelessNic(AIRONET_350),
+                           stage, thinks, now=now, layout=None)
+        obj = _estimate(DataSource.NETWORK,
+                        lambda: WirelessNic(AIRONET_350),
+                        stage, thinks, now=now, layout=None,
+                        use_packed=False)
+        assert packed == obj
+
+    @settings(max_examples=100, deadline=None)
+    @given(stage=_stage, now=_now,
+           min_duration=st.one_of(st.none(), st.floats(0.0, 200.0)),
+           data=st.data())
+    def test_disk_with_other_device_and_floor(self, stage, now,
+                                              min_duration, data):
+        """The other-device baseline and the audit floor ride along."""
+        thinks = _thinks_for(stage, data)
+        layout = _layout()
+        kwargs = dict(now=now, layout=layout,
+                      other_factory=lambda: WirelessNic(AIRONET_350),
+                      min_duration=min_duration)
+        packed = _estimate(DataSource.DISK,
+                           lambda: HardDisk(HITACHI_DK23DA),
+                           stage, thinks, **kwargs)
+        obj = _estimate(DataSource.DISK, lambda: HardDisk(HITACHI_DK23DA),
+                        stage, thinks, use_packed=False, **kwargs)
+        assert packed == obj
+
+
+class TestNumpyVsScalarFallback:
+    """Forcing the scalar fallback must not move a single bit."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(stage=_stage, now=_now, data=st.data())
+    def test_disk_and_wnic_stages(self, stage, now, data):
+        thinks = _thinks_for(stage, data)
+        layout = _layout()
+        with_np = (
+            _estimate(DataSource.DISK, lambda: HardDisk(HITACHI_DK23DA),
+                      stage, thinks, now=now, layout=layout),
+            _estimate(DataSource.NETWORK,
+                      lambda: WirelessNic(AIRONET_350),
+                      stage, thinks, now=now, layout=None))
+        saved = costmodel._np
+        costmodel._np = None
+        try:
+            without_np = (
+                _estimate(DataSource.DISK,
+                          lambda: HardDisk(HITACHI_DK23DA),
+                          stage, thinks, now=now, layout=layout),
+                _estimate(DataSource.NETWORK,
+                          lambda: WirelessNic(AIRONET_350),
+                          stage, thinks, now=now, layout=None))
+        finally:
+            costmodel._np = saved
+        assert with_np == without_np

@@ -204,7 +204,7 @@ def sweep(executor: ParallelSweepExecutor, specs, config):
         kinds = sorted(f.message.split("(")[1].split(")")[0]
                        for f in findings)
         assert kinds == ["a dict literal", "a list comprehension",
-                         "bytearray"]
+                         "bytearray", "dict"]
         assert all("worker payload registry" in f.message
                    for f in findings)
 

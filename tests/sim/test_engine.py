@@ -120,3 +120,62 @@ class TestDeterminism:
             return fired
 
         assert run_once() == run_once()
+
+
+class TestCounterConsistency:
+    """The live/dead tallies must stay exact through every pop path."""
+
+    @staticmethod
+    def _dead_in_heap(loop):
+        return sum(1 for e in loop._events if e.cancelled)
+
+    def test_run_until_pops_cancelled_heads_consistently(self):
+        loop = EventLoop()
+        events = [loop.schedule_at(float(i), lambda: None)
+                  for i in range(200)]
+        # Cancel the earliest 80 (they sit at the heap head) plus a
+        # scattering of later ones; stay under the compaction trigger.
+        for e in events[:80]:
+            e.cancel()
+        assert loop.pending_count() == 120
+        assert loop._cancelled == self._dead_in_heap(loop)
+
+        # run_until sweeps past the cancelled heads without firing them.
+        loop.run_until(99.5)
+        assert loop.now == 99.5
+        assert loop.pending_count() == 100
+        assert loop._cancelled == self._dead_in_heap(loop)
+
+        # Cancelling the bulk of the remainder crosses the compaction
+        # threshold; the tally must reset with the purge, not double
+        # count the heads run_until already discarded.
+        for e in events[100:190]:
+            e.cancel()
+        assert loop.pending_count() == 10
+        assert loop._cancelled == self._dead_in_heap(loop)
+        fired = loop.run()
+        assert fired == 199.0
+        assert loop.pending_count() == 0
+        assert loop._cancelled == 0
+
+    def test_direct_and_loop_cancel_share_bookkeeping(self):
+        loop = EventLoop()
+        a = loop.schedule_at(1.0, lambda: None)
+        b = loop.schedule_at(2.0, lambda: None)
+        loop.cancel(a)
+        b.cancel()
+        b.cancel()  # idempotent: no double decrement
+        assert loop.pending_count() == 0
+        assert loop._cancelled == 2
+        loop.run()
+        assert loop.pending_count() == 0
+        assert loop._cancelled == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        loop = EventLoop()
+        event = loop.schedule_at(1.0, lambda: None)
+        loop.schedule_at(2.0, lambda: None)
+        loop.run()
+        event.cancel()  # fired already; counters must not move
+        assert loop.pending_count() == 0
+        assert loop._cancelled == 0

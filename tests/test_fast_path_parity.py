@@ -1,0 +1,124 @@
+"""BurstPlan fast path vs event loop: exact parity and refusal rules.
+
+The session's fast path replays a pre-compiled :class:`BurstPlan` on a
+flat clock instead of driving the discrete-event loop.  It is only a
+performance shortcut, so for every figure scenario the fast-path result
+must equal the event-loop result *field for field* (``RunResult`` is a
+plain dataclass; ``==`` compares every float and dict exactly).
+
+The fast path must also know when to stand down: multi-program replays,
+fault schedules, and strict invariant checking all perturb the replay in
+ways a frozen plan cannot express, so those sessions must report
+``used_fast_path == False`` (and still produce identical results).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profile import profile_from_trace
+from repro.core.session import SimulationSession
+from repro.core.workload import ProgramSpec
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures import _standard_policies
+from repro.faults.schedule import FaultSchedule, FaultSpec
+from repro.traces.synth import (
+    generate_acroread_profile_run,
+    generate_acroread_search_run,
+    generate_grep_make,
+    generate_grep_make_xmms,
+    generate_mplayer,
+    generate_thunderbird,
+)
+
+FIGURE_IDS = ("fig1", "fig2", "fig3", "fig4", "fig5")
+
+
+@pytest.fixture(scope="module")
+def config():
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="module")
+def figure_setups(config):
+    """fig id -> (programs factory, policy factories), mirroring golden."""
+    seed = config.seed
+    fig1 = generate_grep_make(seed)
+    fig2 = generate_mplayer(seed)
+    fig3 = generate_thunderbird(seed)
+    fg4, bg4 = generate_grep_make_xmms(seed)
+    search5 = generate_acroread_search_run(seed)
+    stale5 = profile_from_trace(generate_acroread_profile_run(seed))
+    return {
+        "fig1": (lambda: [ProgramSpec(fig1)],
+                 _standard_policies(profile_from_trace(fig1), config)),
+        "fig2": (lambda: [ProgramSpec(fig2)],
+                 _standard_policies(profile_from_trace(fig2), config)),
+        "fig3": (lambda: [ProgramSpec(fig3)],
+                 _standard_policies(profile_from_trace(fig3), config)),
+        "fig4": (lambda: [ProgramSpec(fg4),
+                          ProgramSpec(bg4, profiled=False,
+                                      disk_pinned=True)],
+                 _standard_policies(profile_from_trace(fg4), config,
+                                    include_static=True)),
+        "fig5": (lambda: [ProgramSpec(search5)],
+                 _standard_policies(stale5, config,
+                                    include_static=True)),
+    }
+
+
+def _session(programs, factory, config, **kwargs):
+    return SimulationSession(programs, factory(),
+                             disk_spec=config.disk_spec,
+                             wnic_spec=config.wnic_spec,
+                             memory_bytes=config.memory_bytes,
+                             seed=config.seed, **kwargs)
+
+
+@pytest.mark.parametrize("fig_id", FIGURE_IDS)
+def test_fast_path_matches_event_loop(fig_id, config, figure_setups):
+    """Exact RunResult equality between the two replay paths."""
+    programs, policies = figure_setups[fig_id]
+    fast_engaged = []
+    for name, factory in policies.items():
+        fast = _session(programs(), factory, config)
+        slow = _session(programs(), factory, config).with_fast_path(False)
+        fast_result = fast.run()
+        slow_result = slow.run()
+        assert not slow.used_fast_path
+        assert fast_result == slow_result, f"{fig_id}/{name} diverged"
+        fast_engaged.append(fast.used_fast_path)
+    if fig_id in ("fig1", "fig4"):
+        # fig1's grep+make trace contains writes (not plannable); fig4
+        # interleaves two programs.  Both need the event loop.
+        assert not any(fast_engaged)
+    else:
+        # Single-program all-read figures must exercise the shortcut.
+        assert all(fast_engaged)
+
+
+def test_faulted_session_refuses_fast_path(config, figure_setups):
+    """A fault schedule perturbs devices mid-run; the plan cannot."""
+    programs, policies = figure_setups["fig3"]
+    factory = next(iter(policies.values()))
+    spec = FaultSpec(outage_rate=0.001, spinup_fail_prob=0.2)
+    baseline = _session(programs(), factory, config)
+    faulted = _session(programs(), factory, config).with_faults(
+        FaultSchedule(spec, seed=7))
+    baseline.run()
+    faulted.run()
+    assert baseline.used_fast_path
+    assert not faulted.used_fast_path
+
+
+def test_strict_session_refuses_fast_path(config, figure_setups):
+    """Strict invariant checking watches the event loop; no shortcut."""
+    programs, policies = figure_setups["fig3"]
+    factory = next(iter(policies.values()))
+    strict = _session(programs(), factory, config).with_strict()
+    relaxed = _session(programs(), factory, config)
+    strict_result = strict.run()
+    relaxed_result = relaxed.run()
+    assert not strict.used_fast_path
+    assert relaxed.used_fast_path
+    assert strict_result == relaxed_result
