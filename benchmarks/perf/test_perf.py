@@ -19,7 +19,11 @@ gates apply:
 * **baseline** — the committed ``BENCH_sweep.json`` doubles as the
   perf baseline: the parallel speedup may not regress below
   ``SPEEDUP_SLACK`` of the recorded one, gated only when ``cpu_count``
-  matches the baseline's.
+  matches the baseline's;
+* **sanitize budget** — a serial sweep under ``sanitize=True`` (which
+  re-runs every fast-path cell through the event loop in shadow) must
+  stay within ``SANITIZE_BUDGET_FACTOR`` (default 2.2) of the sum of
+  both paths run unsanitized, and its curves must be bit-identical.
 
 Worker count comes from ``BENCH_WORKERS`` (default 4) and is clamped to
 the host's CPUs — oversubscribed workers only add fork and scheduling
@@ -47,7 +51,7 @@ from repro.experiments.parallel import (
     SweepJob,
     _prepare_factory,
 )
-from repro.experiments.runner import ProgramSet
+from repro.experiments.runner import ProgramSet, _build_session
 from repro.sim import plan as plan_mod
 from repro.sim.plan import plan_for
 from repro.traces.compile import compile_trace
@@ -66,6 +70,13 @@ SPEEDUP_SLACK = 0.7
 SERIAL_BUDGET_S = float(os.environ.get("BENCH_SERIAL_BUDGET", "3.0"))
 #: Parallel must beat serial by at least this factor on multi-core.
 SPEEDUP_FLOOR = float(os.environ.get("BENCH_SPEEDUP_FLOOR", "1.0"))
+#: A sanitized sweep deliberately runs *both* replay paths per cell
+#: (fast + event-loop shadow), so its honest baseline is the sum of
+#: both paths run unsanitized.  The budget bounds the sanitizer's own
+#: machinery — recording sinks and the bit-level diff — not the cost
+#: of the event loop it exists to re-run.
+SANITIZE_BUDGET_FACTOR = float(
+    os.environ.get("SANITIZE_BUDGET_FACTOR", "2.2"))
 
 
 @pytest.fixture(scope="module")
@@ -114,6 +125,18 @@ def _timed_sweep(executor, programs, policies, panels, config):
     curves = {panel: executor.run_sweep(programs, policies, specs, config)
               for panel, specs in panels.items()}
     return curves, time.perf_counter() - t0
+
+
+def _timed_event_loop(programs, policies, panels, config):
+    """Serial wall-clock of the same grid forced onto the event loop —
+    the second half of the sanitized leg's baseline."""
+    t0 = time.perf_counter()
+    for specs in panels.values():
+        for wnic_spec in specs:
+            for factory in policies.values():
+                _build_session(programs, factory(), wnic_spec, config,
+                               None).with_fast_path(False).run()
+    return time.perf_counter() - t0
 
 
 def _assert_identical(reference, other, label):
@@ -197,6 +220,22 @@ def test_sweep_modes(sweep_inputs, bench_config, tmp_path_factory):
     _assert_identical(serial_curves, rerun_curves, "serial rerun")
     evaluate_s = min(evaluate_s, rerun_s)
 
+    # Sanitized leg: every fast-path cell is re-run through the event
+    # loop in shadow and bit-diffed, so the honest baseline is the sum
+    # of both unsanitized paths.  The factor gates the sanitizer's own
+    # machinery, not the event loop it deliberately re-runs.
+    sanitized_curves, sanitized_s = _timed_sweep(
+        ParallelSweepExecutor(1, sanitize=True), programs, policies,
+        panels, bench_config)
+    _assert_identical(serial_curves, sanitized_curves, "sanitized")
+    event_loop_s = _timed_event_loop(programs, policies, panels,
+                                     bench_config)
+    sanitize_factor = sanitized_s / (evaluate_s + event_loop_s)
+    assert sanitize_factor <= SANITIZE_BUDGET_FACTOR, (
+        f"sanitized sweep took {sanitized_s:.3f}s vs both-path "
+        f"baseline {evaluate_s:.3f}s + {event_loop_s:.3f}s: factor "
+        f"{sanitize_factor:.2f}x > budget {SANITIZE_BUDGET_FACTOR:.1f}x")
+
     cold_serial_s = compile_s + plan_s + evaluate_s
     assert cold_serial_s <= SERIAL_BUDGET_S, (
         f"cold serial grid took {cold_serial_s:.3f}s "
@@ -246,6 +285,10 @@ def test_sweep_modes(sweep_inputs, bench_config, tmp_path_factory):
         "speedup_parallel_vs_serial": round(speedup, 2),
         "speedup_warm_cache_vs_serial": round(evaluate_s / warm_s, 2),
         "speedup_floor": SPEEDUP_FLOOR,
+        "sanitized_seconds": round(sanitized_s, 3),
+        "event_loop_seconds": round(event_loop_s, 3),
+        "sanitize_factor": round(sanitize_factor, 2),
+        "sanitize_budget_factor": SANITIZE_BUDGET_FACTOR,
         "parallel_live_runs": cold.live_runs,
         "warm_live_runs": warm.live_runs,
         "warm_cache_hits": warm.cache_hits,

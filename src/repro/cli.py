@@ -205,7 +205,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                         backoff_base=args.backoff)
     executor = ParallelSweepExecutor(
         args.workers, cache=cache, retry=retry, timeout=args.timeout,
-        journal=journal, partial=args.partial, chaos=chaos)
+        journal=journal, partial=args.partial, chaos=chaos,
+        sanitize=True if args.sanitize else None)
     profiling = args.profile or args.profile_out
     profile_dir = None
     if profiling:
@@ -300,6 +301,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--baseline", args.baseline]
     if args.update_baseline:
         argv.append("--update-baseline")
+    if args.format != "text":
+        argv += ["--format", args.format]
     return lint_main(argv)
 
 
@@ -425,6 +428,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="failure-manifest path (default"
                               " <journal>.failures.json or"
                               " sweep-failures.json)")
+    p_sweep.add_argument("--sanitize", action="store_true",
+                         help="shadow-verify every live fast-path cell"
+                              " against the event loop at the bit level"
+                              " (same as REPRO_SANITIZE=1; divergence"
+                              " raises ReplayDivergenceError)")
     p_sweep.add_argument("--chaos", metavar="SPEC",
                          help="fault injection for the orchestrator,"
                               " e.g. 'kill-prob=0.5,corrupt-prob=0.3'"
@@ -461,6 +469,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--update-baseline", action="store_true",
                         help="rewrite --baseline with the current"
                              " findings")
+    p_lint.add_argument("--format", default="text",
+                        choices=["text", "github"],
+                        help="finding output format; 'github' emits"
+                             " ::error workflow annotations")
 
     p_trace = sub.add_parser(
         "trace", help="synthesise a workload trace and write it to disk")

@@ -209,6 +209,11 @@ class SweepJob:
     #: the worker rebuilds the (mutable-cursor) schedule from
     #: (spec, seed) — the same pair the cache key hashes.
     faults: FaultSpec | None = None
+    #: shadow-verify the cell against the event loop
+    #: (:mod:`repro.core.shadow`); None defers to ``REPRO_SANITIZE``.
+    #: Verification-only — the returned result is bit-identical either
+    #: way (a divergence raises), so it stays out of the cache key.
+    sanitize: bool | None = None
 
 
 #: Per-cell profiling sink, armed parent-side before the pool forks
@@ -263,12 +268,14 @@ def _execute_job(job: SweepJob) -> SweepPoint:
     schedule = build_fault_schedule(job.faults, job.config.seed)
     if _PROFILE_DIR is None:
         return run_point(lambda: list(specs), job.policy_factory,
-                         job.wnic_spec, job.config, faults=schedule)
+                         job.wnic_spec, job.config, faults=schedule,
+                         sanitize=job.sanitize)
     profiler = cProfile.Profile()
     profiler.enable()
     try:
         return run_point(lambda: list(specs), job.policy_factory,
-                         job.wnic_spec, job.config, faults=schedule)
+                         job.wnic_spec, job.config, faults=schedule,
+                         sanitize=job.sanitize)
     finally:
         profiler.disable()
         profiler.dump_stats(os.path.join(
@@ -405,7 +412,8 @@ class ParallelSweepExecutor:
                  journal: SweepJournal | None = None,
                  partial: bool = False,
                  chaos: ChaosSpec | None = None,
-                 clamp_to_cpus: bool = False) -> None:
+                 clamp_to_cpus: bool = False,
+                 sanitize: bool | None = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if clamp_to_cpus:
@@ -419,6 +427,10 @@ class ParallelSweepExecutor:
         self.journal = journal
         self.partial = partial
         self.chaos = chaos
+        #: per-sweep override of the ``REPRO_SANITIZE`` default; rides
+        #: into every job (cache-served cells were verified when first
+        #: simulated, so a warm sweep re-verifies nothing).
+        self.sanitize = sanitize
         self.live_runs = 0
         self.cache_hits = 0
         self.journal_hits = 0
@@ -484,7 +496,8 @@ class ParallelSweepExecutor:
                                      programs=refs,
                                      policy_factory=factory,
                                      wnic_spec=spec, config=config,
-                                     faults=faults))
+                                     faults=faults,
+                                     sanitize=self.sanitize))
 
         keys = self._keys_for(jobs, specs)
         if self.journal is not None:

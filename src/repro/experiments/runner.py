@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.policies import Policy
 from repro.core.session import SimulationSession
+from repro.core.shadow import SANITIZE_DEFAULT, run_shadowed
 from repro.core.telemetry import RunResult, StreamingStat
 from repro.core.workload import ProgramSpec
 from repro.devices.specs import WnicSpec
@@ -162,17 +163,10 @@ def progress_line(point: SweepPoint) -> str:
             f" -> {point.energy:.1f} J")
 
 
-def run_point(programs_factory: Callable[[], list[ProgramSpec]],
-              policy_factory: PolicyFactory,
-              wnic_spec: WnicSpec,
-              config: ExperimentConfig,
-              *, faults: FaultSchedule | None = None) -> SweepPoint:
-    """Run one policy on one workload at one link setting.
-
-    ``faults`` must be a fresh (or rewound) schedule — its spin-up
-    cursor is consumed by the run.
-    """
-    policy = policy_factory()
+def _build_session(programs_factory: Callable[[], list[ProgramSpec]],
+                   policy: Policy, wnic_spec: WnicSpec,
+                   config: ExperimentConfig,
+                   faults: FaultSchedule | None) -> SimulationSession:
     session = (SimulationSession()
                .with_programs(*programs_factory())
                .with_policy(policy)
@@ -182,7 +176,41 @@ def run_point(programs_factory: Callable[[], list[ProgramSpec]],
                .with_seed(config.seed))
     if faults is not None:
         session = session.with_faults(faults)
-    result = session.run()
+    return session
+
+
+def run_point(programs_factory: Callable[[], list[ProgramSpec]],
+              policy_factory: PolicyFactory,
+              wnic_spec: WnicSpec,
+              config: ExperimentConfig,
+              *, faults: FaultSchedule | None = None,
+              sanitize: bool | None = None) -> SweepPoint:
+    """Run one policy on one workload at one link setting.
+
+    ``faults`` must be a fresh (or rewound) schedule — its spin-up
+    cursor is consumed by the run.
+
+    ``sanitize`` (default: the ``REPRO_SANITIZE`` environment toggle)
+    shadow-verifies the cell: if the run takes the BurstPlan fast path,
+    an event-loop twin is built from the same factories and the two
+    replays are diffed at the bit level
+    (:mod:`repro.core.shadow`).  The returned point is always the
+    primary run's — a divergence raises instead of returning.
+    """
+    policy = policy_factory()
+    session = _build_session(programs_factory, policy, wnic_spec,
+                             config, faults)
+    if sanitize is None:
+        sanitize = SANITIZE_DEFAULT
+    if sanitize:
+        # Policies and devices are stateful: the shadow twin needs a
+        # fresh policy instance, not a re-run of the primary's.
+        result = run_shadowed(
+            session,
+            lambda: _build_session(programs_factory, policy_factory(),
+                                   wnic_spec, config, faults))
+    else:
+        result = session.run()
     return SweepPoint(policy=policy.name,
                       latency=wnic_spec.latency,
                       bandwidth_bps=wnic_spec.bandwidth_bps,

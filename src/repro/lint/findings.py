@@ -123,6 +123,61 @@ RULES: dict[str, Rule] = {
                       " through the call graph.",
         ),
         Rule(
+            id="R10",
+            name="path-coverage-drift",
+            summary="every SimulationSession/MobileSystem parameter and"
+                    " FaultSpec field is either read by the fast path"
+                    " or named in its refusal predicate",
+            rationale="the BurstPlan fast path is a shortcut over the"
+                      " event loop; a new session knob the shortcut"
+                      " neither consumes nor refuses on is silently"
+                      " ignored — two runs that vary it return"
+                      " bit-identical (wrong) results until a parity"
+                      " test happens to sweep that knob.",
+        ),
+        Rule(
+            id="R11",
+            name="kernel-pair-drift",
+            summary="the packed replay kernels (_replay_packed /"
+                    " _disk_walk / _wnic_walk) account the same energy"
+                    " buckets, spec constants and DPM transitions as"
+                    " the device models they shadow",
+            rationale="the packed walk re-derives device arithmetic"
+                      " from first principles for speed; a cost term,"
+                      " breakdown bucket, or state transition added to"
+                      " one twin but not the other drifts the two"
+                      " replay paths apart — the exact bug class the"
+                      " _replay_object oracle exists to catch, found"
+                      " here without running anything.",
+        ),
+        Rule(
+            id="R12",
+            name="float-reassociation",
+            summary="no numpy reductions (sum/dot/mean/...) in modules"
+                    " under the REPRO_NO_NUMPY bit-identical contract",
+            rationale="numpy reduces with pairwise/SIMD association;"
+                      " the scalar fallback accumulates left-to-right."
+                      " The two orders round differently, so a"
+                      " reduction over energy/time columns silently"
+                      " breaks the contract that REPRO_NO_NUMPY=1"
+                      " produces bit-identical results.  Elementwise"
+                      " vector arithmetic is fine — each lane rounds"
+                      " exactly like its scalar twin.",
+        ),
+        Rule(
+            id="R13",
+            name="plan-staleness",
+            summary="memoised plans are immutable and every plan input"
+                    " is folded into the memo key",
+            rationale="plan_for memoises BurstPlans process-wide and"
+                      " forked workers inherit them copy-on-write;"
+                      " mutating plan-derived state after memoisation,"
+                      " or keying the memo on fewer inputs than"
+                      " build_plan consumes, serves stale plans to"
+                      " every later cell that varies the missing"
+                      " input.",
+        ),
+        Rule(
             id="E1",
             name="parse-error",
             summary="file could not be parsed as Python",

@@ -35,6 +35,7 @@ from repro.lint.baseline import (
     save_baseline,
     split_findings,
 )
+from repro.lint.equiv import run_equiv_rules
 from repro.lint.findings import RULES, Finding
 from repro.lint.interproc import run_project_rules
 from repro.lint.ir import ModuleIR, build_project, parse_module
@@ -129,8 +130,10 @@ def _project_pass(modules: list[ModuleIR],
         module.path: expand_multiline(module.suppressions, module.tree)
         for module in modules
     }
+    produced = (run_project_rules(project, select=select)
+                + run_equiv_rules(project, select=select))
     return [
-        finding for finding in run_project_rules(project, select=select)
+        finding for finding in produced
         if finding.path not in expanded
         or expanded[finding.path].allows(finding)
     ]
@@ -217,9 +220,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite --baseline with the current"
                              " findings and exit 0")
+    parser.add_argument("--format", choices=("text", "github"),
+                        default="text",
+                        help="finding output format: 'text' (default,"
+                             " path:line:col) or 'github' (workflow"
+                             " ::error annotations)")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="suppress the summary line")
     return parser
+
+
+def _render_github(finding: Finding) -> str:
+    """One ``::error`` workflow command per finding.
+
+    GitHub columns are 1-based; internal columns 0-based, matching
+    ast col_offset.  Newlines cannot occur in messages (findings are
+    single-line), so no %0A escaping is needed.
+    """
+    name = (RULES[finding.rule].name
+            if finding.rule in RULES else "?")
+    return (f"::error file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title={finding.rule}({name})::"
+            f"{finding.message}")
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -275,7 +297,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         write_sarif(args.sarif, findings,
                     new=set(new) if args.baseline else None)
     for finding in new:
-        print(finding.render())
+        if args.format == "github":
+            print(_render_github(finding))
+        else:
+            print(finding.render())
     if not args.quiet:
         noun = "finding" if len(new) == 1 else "findings"
         suffix = f" ({len(baselined)} baselined)" if baselined else ""
